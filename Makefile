@@ -1,0 +1,43 @@
+# ε-PPI reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build test vet bench race fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper table/figure (quick scale).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz session over every fuzz target.
+fuzz:
+	$(GO) test -fuzz=FuzzUnmarshalBinary -fuzztime=10s ./internal/bitmat/
+	$(GO) test -fuzz=FuzzBeta -fuzztime=10s ./internal/mathx/
+	$(GO) test -fuzz=FuzzLambda -fuzztime=10s ./internal/mathx/
+
+# Regenerate every paper table and figure at full scale.
+experiments:
+	$(GO) run ./cmd/eppi-bench -experiment all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/healthcare
+	$(GO) run ./examples/attacklab
+	$(GO) run ./examples/distributed
+	$(GO) run ./examples/university
+
+clean:
+	$(GO) clean ./...

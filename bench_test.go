@@ -1,0 +1,128 @@
+// Package repro's root benchmark suite: one testing.B benchmark per table
+// and figure of the ε-PPI paper's evaluation section. Each benchmark runs
+// the corresponding experiment end-to-end (at reduced "quick" scale so the
+// full suite stays minutes, not hours; `eppi-bench -experiment <id>` runs
+// the paper-scale version and EXPERIMENTS.md records those results).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchOpts(i int) experiments.Options {
+	return experiments.Options{Seed: int64(i) + 1, Quick: true}
+}
+
+func BenchmarkFig4a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4a(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4b(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5a(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5b(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6a(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6aModelled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6aModelled(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6b(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6c(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SearchCost(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMixing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationMixing(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationC(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationRebuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationRebuild(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationDepth(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAttackAll(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-providers", "300", "-owners", "40", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"PRIMARY ATTACK", "COMMON-IDENTITY ATTACK",
+		"REBUILD / INTERSECTION ATTACK", "FREQUENCY-ESTIMATION ATTACK",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestAttackSingleKinds(t *testing.T) {
+	for _, kind := range []string{"primary", "common", "rebuild", "estimate"} {
+		var out bytes.Buffer
+		if err := run([]string{"-kind", kind, "-providers", "200", "-owners", "30"}, &out); err != nil {
+			t.Fatalf("kind %s: %v", kind, err)
+		}
+		if out.Len() == 0 {
+			t.Fatalf("kind %s produced no output", kind)
+		}
+	}
+}
+
+func TestAttackUnknownKind(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "voodoo"}, &out); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

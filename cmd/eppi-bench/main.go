@@ -1,0 +1,108 @@
+// Command eppi-bench regenerates the tables and figures of the ε-PPI
+// paper's evaluation section.
+//
+// Usage:
+//
+//	eppi-bench -experiment fig4a [-seed 42] [-quick]
+//	eppi-bench -experiment all
+//
+// Experiments: fig4a fig4b fig5a fig5b fig6a fig6a-model fig6b fig6c
+// table2 searchcost all. Output is an aligned text rendering of the
+// figure's series (one column per line in the paper's plot) or the table's
+// rows. -quick shrinks the workloads for smoke runs; the default scale
+// matches the paper (10,000 providers for Figures 4-5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "eppi-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type renderer interface {
+	Render(io.Writer)
+	RenderCSV(io.Writer) error
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("eppi-bench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "experiment id (fig4a..fig6c, table2, searchcost, ablation-mixing, ablation-c, all)")
+	seed := fs.Int64("seed", 42, "random seed")
+	quick := fs.Bool("quick", false, "reduced scale for smoke runs")
+	format := fs.String("format", "text", "output format: text|csv")
+	transportName := fs.String("transport", "inmem", "protocol transport for fig6a/fig6c: inmem|tcp")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "csv" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if *transportName != "inmem" && *transportName != "tcp" {
+		return fmt.Errorf("unknown transport %q", *transportName)
+	}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, TCP: *transportName == "tcp"}
+
+	all := []struct {
+		id  string
+		gen func(experiments.Options) (renderer, error)
+	}{
+		{"fig4a", wrapFig(experiments.Fig4a)},
+		{"fig4b", wrapFig(experiments.Fig4b)},
+		{"fig5a", wrapFig(experiments.Fig5a)},
+		{"fig5b", wrapFig(experiments.Fig5b)},
+		{"fig6a", wrapFig(experiments.Fig6a)},
+		{"fig6a-model", wrapFig(experiments.Fig6aModelled)},
+		{"fig6b", wrapFig(experiments.Fig6b)},
+		{"fig6c", wrapFig(experiments.Fig6c)},
+		{"table2", wrapTable(experiments.Table2)},
+		{"searchcost", wrapTable(experiments.SearchCost)},
+		{"ablation-mixing", wrapTable(experiments.AblationMixing)},
+		{"ablation-c", wrapTable(experiments.AblationC)},
+		{"ablation-rebuild", wrapTable(experiments.AblationRebuild)},
+		{"ablation-depth", wrapTable(experiments.AblationDepth)},
+	}
+
+	ran := false
+	for _, exp := range all {
+		if *experiment != "all" && *experiment != exp.id {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		result, err := exp.gen(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.id, err)
+		}
+		if *format == "csv" {
+			if err := result.RenderCSV(out); err != nil {
+				return fmt.Errorf("%s: %w", exp.id, err)
+			}
+			continue
+		}
+		result.Render(out)
+		fmt.Fprintf(out, "[%s completed in %v]\n\n", exp.id, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return nil
+}
+
+func wrapFig(gen func(experiments.Options) (*experiments.Figure, error)) func(experiments.Options) (renderer, error) {
+	return func(o experiments.Options) (renderer, error) { return gen(o) }
+}
+
+func wrapTable(gen func(experiments.Options) (*experiments.TableResult, error)) func(experiments.Options) (renderer, error) {
+	return func(o experiments.Options) (renderer, error) { return gen(o) }
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "fig6b", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"fig6b", "e-PPI", "Pure-MPC", "completed in"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "fig6b", "-quick", "-format", "csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(out.String(), "\n", 2)[0]
+	if first != "parties,e-PPI,Pure-MPC" {
+		t.Fatalf("csv header = %q", first)
+	}
+	if strings.Contains(out.String(), "completed in") {
+		t.Error("csv output polluted with human text")
+	}
+}
+
+func TestRunTCPTransport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "fig6a", "-quick", "-transport", "tcp"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig6a") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "nonsense"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-format", "xml"}, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"-transport", "carrier-pigeon"}, &out); err == nil {
+		t.Error("unknown transport accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunTableExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "ablation-c", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tolerates") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}

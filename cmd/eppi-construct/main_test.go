@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestConstructTrusted(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-providers", "60", "-owners", "20", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"constructed ε-PPI", "mode=trusted", "search cost", "sample owner outcomes"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestConstructSecure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-providers", "8", "-owners", "4", "-secure", "-c", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"mode=secure", "SecSumShare", "CountBelow", "MPC traffic"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestConstructPolicies(t *testing.T) {
+	for _, policy := range []string{"basic", "inc-exp", "chernoff"} {
+		var out bytes.Buffer
+		if err := run([]string{"-providers", "30", "-owners", "8", "-policy", policy}, &out); err != nil {
+			t.Fatalf("policy %s: %v", policy, err)
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-policy", "nonsense"}, &out); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQueryDefaultTarget(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-providers", "15", "-owners", "6", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"index constructed", "search owner://site-0", "contacted", "retrieved"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestQueryAllOwners(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-providers", "12", "-owners", "4", "-all"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "search owner://"); got != 4 {
+		t.Fatalf("searched %d owners, want 4", got)
+	}
+}
+
+func TestQueryUnknownOwner(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-providers", "12", "-owners", "4", "-search", "nobody"}, &out); err == nil {
+		t.Error("unknown owner accepted")
+	}
+}

@@ -1,0 +1,113 @@
+// Command eppi-serve runs the third-party locator service: it loads a
+// previously exported index (or constructs one over a synthetic network
+// when -index is omitted) and serves the HTTP query API.
+//
+// Usage:
+//
+//	eppi-serve -addr 127.0.0.1:8080 -index index.bin
+//	eppi-serve -addr 127.0.0.1:8080 -providers 50 -owners 20   # demo index
+//
+// Endpoints: GET /v1/query?owner=…, GET /v1/stats, GET /v1/healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/httpapi"
+	"repro/internal/index"
+	"repro/internal/mathx"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "eppi-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("eppi-serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	indexPath := fs.String("index", "", "path to an index exported with WriteIndex (empty: build a demo index)")
+	providers := fs.Int("providers", 50, "demo index: number of providers")
+	owners := fs.Int("owners", 20, "demo index: number of owners")
+	seed := fs.Int64("seed", 1, "demo index: random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := loadOrBuild(*indexPath, *providers, *owners, *seed)
+	if err != nil {
+		return err
+	}
+	handler, err := httpapi.NewHandler(srv)
+	if err != nil {
+		return err
+	}
+	listener, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	fmt.Printf("locator service on http://%s (index: %d providers, %d owners)\n",
+		listener.Addr(), srv.Providers(), srv.Owners())
+	return serve(listener, handler, nil)
+}
+
+// serve runs the HTTP server until the listener closes or stop is
+// signalled (stop may be nil for run-forever).
+func serve(listener net.Listener, handler http.Handler, stop <-chan struct{}) error {
+	httpSrv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if stop != nil {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-stop:
+				httpSrv.Close()
+			case <-done:
+			}
+		}()
+	}
+	if err := httpSrv.Serve(listener); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+func loadOrBuild(path string, providers, owners int, seed int64) (*index.Server, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("open index: %w", err)
+		}
+		defer f.Close()
+		srv, err := index.Read(f)
+		if err != nil {
+			return nil, fmt.Errorf("load index %q: %w", path, err)
+		}
+		return srv, nil
+	}
+	d, err := workload.GenerateZipf(workload.ZipfConfig{
+		Providers: providers, Owners: owners, Exponent: 1.1, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Construct(d.Matrix, d.Eps, core.Config{
+		Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return index.NewServer(res.Published, d.Names)
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/httpapi"
+	"repro/internal/index"
+	"repro/internal/mathx"
+	"repro/internal/workload"
+)
+
+func TestLoadOrBuildDemo(t *testing.T) {
+	srv, err := loadOrBuild("", 20, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Providers() != 20 || srv.Owners() != 8 {
+		t.Fatalf("dims %dx%d", srv.Providers(), srv.Owners())
+	}
+}
+
+func TestLoadOrBuildFromFile(t *testing.T) {
+	// Build an index, export it, load through the serve path.
+	d, err := workload.GenerateZipf(workload.ZipfConfig{Providers: 10, Owners: 5, Exponent: 1.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Construct(d.Matrix, d.Eps, core.Config{
+		Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := index.NewServer(res.Published, d.Names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := srv.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.bin")
+	if err := os.WriteFile(path, buf.Bytes(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadOrBuild(path, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Providers() != 10 || loaded.Owners() != 5 {
+		t.Fatalf("loaded dims %dx%d", loaded.Providers(), loaded.Owners())
+	}
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	srv, err := loadOrBuild("", 10, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, err := httpapi.NewHandler(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listener, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- serve(listener, handler, stop) }()
+
+	client := httpapi.NewClient("http://"+listener.Addr().String(), nil)
+	hz, err := client.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hz.Providers != 10 || hz.Owners != 4 {
+		t.Fatalf("healthz = %+v", hz)
+	}
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not stop")
+	}
+}
+
+func TestLoadOrBuildErrors(t *testing.T) {
+	if _, err := loadOrBuild(filepath.Join(t.TempDir(), "missing.bin"), 0, 0, 0); err == nil {
+		t.Error("missing index file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadOrBuild(bad, 0, 0, 0); err == nil {
+		t.Error("garbage index file accepted")
+	}
+}

@@ -1,0 +1,237 @@
+package eppi
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Integration tests: the paper's guarantees verified end-to-end through
+// the public API only — delegation, construction (both modes), hosted
+// query, two-phase search, and the statistical privacy properties.
+
+// buildRandomNetwork creates a network of m providers and nOwners owners
+// with random delegations (freqHint records per owner) and the given ε.
+func buildRandomNetwork(t *testing.T, m, nOwners, freqHint int, eps float64, seed int64) (*Network, map[string][]int) {
+	t.Helper()
+	names := make([]string, m)
+	for i := range names {
+		names[i] = fmt.Sprintf("p%03d", i)
+	}
+	net, err := NewNetwork(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	truth := make(map[string][]int, nOwners)
+	for o := 0; o < nOwners; o++ {
+		owner := fmt.Sprintf("owner-%03d", o)
+		seen := map[int]bool{}
+		for len(seen) < freqHint {
+			p := rng.Intn(m)
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			rec := Record{Owner: owner, Kind: "rec", Body: fmt.Sprintf("%s@%d", owner, p)}
+			if err := net.Delegate(p, rec, eps); err != nil {
+				t.Fatal(err)
+			}
+			truth[owner] = append(truth[owner], p)
+		}
+	}
+	return net, truth
+}
+
+// Recall must be perfect for every owner through the full stack.
+func TestIntegrationRecallEveryOwner(t *testing.T) {
+	net, truth := buildRandomNetwork(t, 60, 25, 3, 0.6, 1)
+	if _, err := net.ConstructPPI(WithChernoff(0.9), WithSeed(2)); err != nil {
+		t.Fatal(err)
+	}
+	net.GrantAll("s")
+	s, err := net.NewSearcher("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for owner, providers := range truth {
+		res, err := s.Search(owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Records) != len(providers) {
+			t.Fatalf("%s: found %d records, want %d", owner, len(res.Records), len(providers))
+		}
+	}
+}
+
+// The achieved noise must respect ε statistically: across many owners, the
+// observed false-positive fraction must reach ε for ≥ γ-ish of them.
+func TestIntegrationEpsilonGuarantee(t *testing.T) {
+	const (
+		m     = 400
+		owner = 40
+		eps   = 0.5
+	)
+	net, _ := buildRandomNetwork(t, m, owner, 4, eps, 3)
+	if _, err := net.ConstructPPI(WithChernoff(0.9), WithSeed(4)); err != nil {
+		t.Fatal(err)
+	}
+	net.GrantAll("s")
+	s, err := net.NewSearcher("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := 0
+	for o := 0; o < owner; o++ {
+		res, err := s.Search(fmt.Sprintf("owner-%03d", o))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fpRateOK(res, eps) {
+			met++
+		}
+	}
+	if rate := float64(met) / owner; rate < 0.8 {
+		t.Fatalf("only %.2f of owners met ε=%v, want >= 0.8 (γ=0.9)", rate, eps)
+	}
+}
+
+// Secure and trusted constructions must agree on the public outcomes
+// (thresholds, commons, β of revealed identities) for the same network.
+func TestIntegrationSecureTrustedAgreement(t *testing.T) {
+	netA, _ := buildRandomNetwork(t, 10, 6, 2, 0.5, 5)
+	netB, _ := buildRandomNetwork(t, 10, 6, 2, 0.5, 5) // identical build
+	repA, err := netA.ConstructPPI(WithChernoff(0.9), WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := netB.ConstructPPI(WithChernoff(0.9), WithSecure(3), WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.CommonCount != repB.CommonCount {
+		t.Fatalf("commons: trusted %d vs secure %d", repA.CommonCount, repB.CommonCount)
+	}
+	for i := range repA.Owners {
+		a, b := repA.Owners[i], repB.Owners[i]
+		if a.Owner != b.Owner {
+			t.Fatalf("owner order differs: %s vs %s", a.Owner, b.Owner)
+		}
+		// Hidden sets may differ (independent mixing coins), but any owner
+		// revealed by both must carry the identical β.
+		if !a.Hidden && !b.Hidden && a.Beta != b.Beta {
+			t.Fatalf("%s: trusted β=%v secure β=%v", a.Owner, a.Beta, b.Beta)
+		}
+	}
+}
+
+// The hosted service must behave identically to the in-network server.
+func TestIntegrationHostedEquivalence(t *testing.T) {
+	net, truth := buildRandomNetwork(t, 30, 10, 2, 0.4, 7)
+	if _, err := net.ConstructPPI(WithSeed(8)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := net.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	host, err := ReadHostedService(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for owner := range truth {
+		a, err := net.Query(owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := host.Query(owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: %v vs %v", owner, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: %v vs %v", owner, a, b)
+			}
+		}
+	}
+}
+
+// The index is static: repeated queries are identical (the paper's
+// repeated-attack resistance — an attacker gains nothing by re-querying).
+func TestIntegrationIndexIsStatic(t *testing.T) {
+	net, _ := buildRandomNetwork(t, 40, 8, 2, 0.7, 9)
+	if _, err := net.ConstructPPI(WithSeed(10)); err != nil {
+		t.Fatal(err)
+	}
+	first, err := net.Query("owner-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		again, err := net.Query("owner-000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(first) {
+			t.Fatal("query result changed across repetitions")
+		}
+		for k := range first {
+			if again[k] != first[k] {
+				t.Fatal("query result changed across repetitions")
+			}
+		}
+	}
+}
+
+// Queries racing a re-construction must never observe torn state: each
+// Query sees either the old or the new complete index.
+func TestIntegrationConcurrentQueryAndReconstruct(t *testing.T) {
+	net, _ := buildRandomNetwork(t, 30, 10, 2, 0.5, 11)
+	if _, err := net.ConstructPPI(WithSeed(12)); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		defer close(errCh)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			got, err := net.Query("owner-000")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if len(got) < 2 { // the 2 true providers must always appear
+				errCh <- fmt.Errorf("torn query result: %v", got)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		if _, err := net.ConstructPPI(WithSeed(int64(100 + i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fpRateOK reports whether the observed noise fraction meets eps.
+func fpRateOK(r *SearchResult, eps float64) bool {
+	answered := r.TruePositives + r.FalsePositives
+	if answered == 0 {
+		return false
+	}
+	return float64(r.FalsePositives)/float64(answered) >= eps
+}

@@ -1,0 +1,21 @@
+package eppi
+
+import (
+	"repro/internal/bitmat"
+	"repro/internal/provider"
+)
+
+// buildMatrix assembles the private membership matrix M from each
+// provider's local vector, in the given owner ordering.
+func buildMatrix(providers []*provider.Provider, names []string) (*bitmat.Matrix, error) {
+	mat, err := bitmat.New(len(providers), len(names))
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range providers {
+		if err := mat.SetRow(i, p.LocalVector(names)); err != nil {
+			return nil, err
+		}
+	}
+	return mat, nil
+}

@@ -1,0 +1,133 @@
+// Attack lab: mounts the paper's two attacks — the primary attack and the
+// common-identity attack — against three locator-service designs (grouping
+// PPI, SS-PPI, ε-PPI) and prints the attacker's measured confidence,
+// demonstrating why the ε-PPI defences (quantitative β and identity
+// mixing) matter.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/grouping"
+	"repro/internal/mathx"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		m = 600
+		n = 80
+	)
+	d, err := workload.GenerateZipf(workload.ZipfConfig{
+		Providers: m, Owners: n, Exponent: 1.3, Seed: 11, EpsLow: 0.5, EpsHigh: 0.9,
+	})
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted, Seed: 12, XiOverride: 0.8}
+	isCommon := make([]bool, n)
+	commons := 0
+	for j := 0; j < n; j++ {
+		if uint64(d.Matrix.ColCount(j)) >= cfg.Threshold(d.Eps[j], m) {
+			isCommon[j] = true
+			commons++
+		}
+	}
+	fmt.Printf("network: %d providers, %d owners, %d true common identities\n\n", m, n, commons)
+
+	// --- Primary attack ----------------------------------------------------
+	fmt.Println("PRIMARY ATTACK — attacker picks a listed provider and claims membership")
+	rng := rand.New(rand.NewSource(13))
+
+	showPrimary := func(system string, published *bitmat.Matrix) error {
+		// Attack the highest-ε non-common owner (the most privacy-demanding
+		// victim the fp-based guarantee covers).
+		victim, bestEps := -1, -1.0
+		for j := 0; j < n; j++ {
+			if !isCommon[j] && d.Eps[j] > bestEps && d.Matrix.ColCount(j) > 0 {
+				victim, bestEps = j, d.Eps[j]
+			}
+		}
+		conf, err := attack.PrimaryConfidence(d.Matrix, published, victim)
+		if err != nil {
+			return err
+		}
+		hits, trials := 0, 2000
+		for i := 0; i < trials; i++ {
+			if ok, attackable := attack.PrimaryAttackTrial(rng, d.Matrix, published, victim); attackable && ok {
+				hits++
+			}
+		}
+		fmt.Printf("  %-16s victim ε=%.2f  analytic confidence %.3f  empirical %.3f  bound(1−ε)=%.3f\n",
+			system, bestEps, conf, float64(hits)/float64(trials), 1-bestEps)
+		return nil
+	}
+
+	gr, err := grouping.Construct(d.Matrix, grouping.Config{Groups: m / 4, Variant: grouping.VariantBawa, Seed: 14})
+	if err != nil {
+		return err
+	}
+	if err := showPrimary("grouping PPI", gr.Published); err != nil {
+		return err
+	}
+	ep, err := core.Construct(d.Matrix, d.Eps, cfg)
+	if err != nil {
+		return err
+	}
+	if err := showPrimary("ε-PPI", ep.Published); err != nil {
+		return err
+	}
+
+	// --- Common-identity attack --------------------------------------------
+	fmt.Println("\nCOMMON-IDENTITY ATTACK — attacker hunts owners that visit almost everywhere")
+
+	// Grouping PPI: the public index shows which identities saturate all
+	// groups.
+	grRes, err := attack.CommonIdentityAttack(attack.PublishedFrequencies(gr.Published), uint64(m), isCommon)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-16s picked %d identities, confidence %.3f (data-dependent: NO GUARANTEE)\n",
+		"grouping PPI", len(grRes.Picked), grRes.Confidence)
+
+	// SS-PPI: exact frequencies leak during construction.
+	ss, err := grouping.Construct(d.Matrix, grouping.Config{Groups: m / 4, Variant: grouping.VariantSSPPI, Seed: 15})
+	if err != nil {
+		return err
+	}
+	minCommon := uint64(m)
+	for j := 0; j < n; j++ {
+		if isCommon[j] && uint64(d.Matrix.ColCount(j)) < minCommon {
+			minCommon = uint64(d.Matrix.ColCount(j))
+		}
+	}
+	ssRes, err := attack.CommonIdentityAttack(ss.LeakedFrequencies, minCommon, isCommon)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-16s picked %d identities, confidence %.3f (exact leak: NO PROTECT)\n",
+		"SS-PPI", len(ssRes.Picked), ssRes.Confidence)
+
+	// ε-PPI: mixing plants false commons; the published common set contains
+	// ≥ ξ impostors.
+	epRes, err := attack.CommonIdentityAttack(attack.PublishedFrequencies(ep.Published), uint64(m), isCommon)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-16s picked %d identities, confidence %.3f (target ≤ 1−ξ = %.2f: ε-PRIVATE)\n",
+		"ε-PPI", len(epRes.Picked), epRes.Confidence, 1-ep.Xi)
+
+	fmt.Println("\nε-PPI bounds both attacks quantitatively; the baselines do not.")
+	return nil
+}

@@ -1,0 +1,128 @@
+// Healthcare Information Exchange scenario — the paper's motivating
+// application. A state-wide network of hospitals shares patient records:
+//
+//   - an unconscious patient arrives at an ER; the doctor uses the record
+//     locator service to find the hospitals holding the patient's history;
+//   - a celebrity patient sets a high ε so that her visit to a sensitive
+//     clinic cannot be inferred from the locator service;
+//   - an average patient keeps a modest ε and pays little search overhead.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/eppi"
+)
+
+const patients = 40
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	hospitals := []string{
+		"county-general", "st-marys", "university-medical", "womens-health-center",
+		"childrens-hospital", "oncology-institute", "veterans-affairs", "riverside-clinic",
+		"eastside-urgent-care", "downtown-er",
+	}
+	net, err := eppi.NewNetwork(hospitals)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(7))
+
+	// Average patients: records at 1-3 hospitals, ε = 0.4.
+	for p := 0; p < patients; p++ {
+		id := fmt.Sprintf("patient-%03d", p)
+		visits := 1 + rng.Intn(3)
+		for v := 0; v < visits; v++ {
+			h := rng.Intn(len(hospitals))
+			rec := eppi.Record{Owner: id, Kind: "encounter", Body: fmt.Sprintf("%s visit #%d at %s", id, v, hospitals[h])}
+			if err := net.Delegate(h, rec, 0.4); err != nil {
+				return err
+			}
+		}
+	}
+
+	// A celebrity with a sensitive visit: ε = 0.95 at the women's health
+	// center, because even one confirmed association is a tabloid story.
+	celebrity := "celebrity-jane"
+	if err := net.Delegate(3, eppi.Record{Owner: celebrity, Kind: "encounter", Body: "confidential"}, 0.95); err != nil {
+		return err
+	}
+	if err := net.Delegate(0, eppi.Record{Owner: celebrity, Kind: "encounter", Body: "routine checkup"}, 0.95); err != nil {
+		return err
+	}
+
+	// An unconscious ER arrival whose history matters: stored at three
+	// hospitals with default privacy.
+	emergency := "patient-er-999"
+	for _, h := range []int{1, 2, 6} {
+		rec := eppi.Record{Owner: emergency, Kind: "history", Body: fmt.Sprintf("%s chart at %s", emergency, hospitals[h])}
+		if err := net.Delegate(h, rec, 0.4); err != nil {
+			return err
+		}
+	}
+
+	report, err := net.ConstructPPI(eppi.WithChernoff(0.9), eppi.WithSeed(7))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("HIE index over %d hospitals, %d patients; search cost %d (true bits would be fewer)\n",
+		len(hospitals), len(report.Owners), report.SearchCost)
+
+	// --- ER doctor retrieves the unconscious patient's history ------------
+	net.GrantAll("dr-er") // emergency break-glass authorization
+	er, err := net.NewSearcher("dr-er")
+	if err != nil {
+		return err
+	}
+	res, err := er.Search(emergency)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nER lookup for %s: contacted %d hospitals, recovered %d records (recall is always 100%%)\n",
+		emergency, res.Contacted, len(res.Records))
+	for _, r := range res.Records {
+		fmt.Printf("  %s\n", r.Body)
+	}
+
+	// --- A curious observer attacks the celebrity -------------------------
+	// The attacker sees only the public index: the candidate list for the
+	// celebrity. With ε = 0.95 and just 10 hospitals, the best achievable
+	// false-positive rate is (m − f)/m = 0.8, so the index broadcasts her
+	// identity to every hospital — the maximum protection a 10-provider
+	// network can offer (a 10,000-hospital network would meet 0.95 without
+	// broadcasting).
+	candidates, err := net.Query(celebrity)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nattacker view of %s: %d of %d hospitals listed — confidence per pick ≈ %.2f (the floor for m=%d)\n",
+		celebrity, len(candidates), len(hospitals), 2.0/float64(len(candidates)), len(hospitals))
+
+	// The celebrity's doctor, properly authorized only where she is a
+	// patient, still finds everything.
+	if err := net.Grant(3, "dr-primary"); err != nil {
+		return err
+	}
+	if err := net.Grant(0, "dr-primary"); err != nil {
+		return err
+	}
+	doc, err := net.NewSearcher("dr-primary")
+	if err != nil {
+		return err
+	}
+	dres, err := doc.Search(celebrity)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("authorized doctor: %d records found, %d hospitals denied access\n", len(dres.Records), dres.Denied)
+	return nil
+}

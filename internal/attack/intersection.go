@@ -1,0 +1,62 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+)
+
+// Intersection attack: the paper notes that ε-PPI resists repeated attacks
+// because the published index is static. This file quantifies what goes
+// wrong if that rule is broken: when the same private matrix is published
+// several times with fresh publication randomness, an attacker intersects
+// the positive sets — true positives survive every rebuild (the 1→1 rule),
+// while independent noise thins out exponentially, so the attacker's
+// confidence climbs toward certainty.
+
+// IntersectionResult describes an intersection attack on one identity.
+type IntersectionResult struct {
+	// Survivors is the number of providers positive in every snapshot.
+	Survivors int
+	// TruePositives is the number of true providers (all of which always
+	// survive, by the truthful-publication rule).
+	TruePositives int
+	// Confidence is the attacker's success probability picking a survivor:
+	// TruePositives / Survivors.
+	Confidence float64
+}
+
+// Intersect mounts the attack on identity column j across the given
+// published snapshots of the same truth matrix.
+func Intersect(truth *bitmat.Matrix, snapshots []*bitmat.Matrix, j int) (*IntersectionResult, error) {
+	if len(snapshots) == 0 {
+		return nil, fmt.Errorf("attack: no snapshots to intersect")
+	}
+	for i, s := range snapshots {
+		if s.Rows() != truth.Rows() || s.Cols() != truth.Cols() {
+			return nil, fmt.Errorf("%w: snapshot %d is %dx%d, truth %dx%d",
+				ErrShape, i, s.Rows(), s.Cols(), truth.Rows(), truth.Cols())
+		}
+	}
+	res := &IntersectionResult{}
+	for i := 0; i < truth.Rows(); i++ {
+		inAll := true
+		for _, s := range snapshots {
+			if !s.Get(i, j) {
+				inAll = false
+				break
+			}
+		}
+		if !inAll {
+			continue
+		}
+		res.Survivors++
+		if truth.Get(i, j) {
+			res.TruePositives++
+		}
+	}
+	if res.Survivors > 0 {
+		res.Confidence = float64(res.TruePositives) / float64(res.Survivors)
+	}
+	return res, nil
+}

@@ -1,0 +1,40 @@
+package bitmat
+
+import "testing"
+
+// FuzzUnmarshalBinary hardens the wire decoder: arbitrary bytes must
+// either round-trip faithfully or be rejected — never panic and never
+// yield a matrix that re-encodes differently.
+func FuzzUnmarshalBinary(f *testing.F) {
+	seed := MustNew(3, 70)
+	seed.Set(0, 0, true)
+	seed.Set(2, 69, true)
+	raw, err := seed.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add([]byte("BM1\n"))
+	f.Add([]byte{})
+	// Regression: zero rows with out-of-range cols used to decode but not
+	// re-encode (dimension bounds differed between the two directions).
+	f.Add([]byte("BM1\n\x00\x00\x00\x00000\xab"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Matrix
+		if err := m.UnmarshalBinary(data); err != nil {
+			return // rejection is fine
+		}
+		out, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted matrix failed to re-encode: %v", err)
+		}
+		if len(out) != len(data) {
+			t.Fatalf("re-encoding changed length: %d vs %d", len(out), len(data))
+		}
+		for i := range out {
+			if out[i] != data[i] {
+				t.Fatalf("re-encoding differs at byte %d", i)
+			}
+		}
+	})
+}

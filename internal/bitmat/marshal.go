@@ -1,0 +1,73 @@
+package bitmat
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary serialization of matrices: the published M' travels from the
+// constructing providers to the third-party PPI host, so it needs a stable
+// wire format. Layout (little-endian):
+//
+//	magic "BM1\n" | uint32 rows | uint32 cols | data words (8 bytes each)
+
+var magic = [4]byte{'B', 'M', '1', '\n'}
+
+// ErrBadEncoding reports a malformed serialized matrix.
+var ErrBadEncoding = errors.New("bitmat: malformed encoding")
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Matrix) MarshalBinary() ([]byte, error) {
+	if m.rows > 1<<31-1 || m.cols > 1<<31-1 {
+		return nil, fmt.Errorf("bitmat: matrix %dx%d too large to encode", m.rows, m.cols)
+	}
+	out := make([]byte, 0, 12+8*len(m.data))
+	out = append(out, magic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(m.rows))
+	out = binary.LittleEndian.AppendUint32(out, uint32(m.cols))
+	for _, w := range m.data {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *Matrix) UnmarshalBinary(data []byte) error {
+	if len(data) < 12 {
+		return fmt.Errorf("%w: %d bytes", ErrBadEncoding, len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return fmt.Errorf("%w: bad magic", ErrBadEncoding)
+	}
+	rows := int(binary.LittleEndian.Uint32(data[4:8]))
+	cols := int(binary.LittleEndian.Uint32(data[8:12]))
+	// Mirror MarshalBinary's dimension bound so every accepted encoding
+	// round-trips byte-identically.
+	if rows > 1<<31-1 || cols > 1<<31-1 {
+		return fmt.Errorf("%w: dimensions %dx%d out of range", ErrBadEncoding, rows, cols)
+	}
+	words := (cols + 63) / 64
+	want := 12 + 8*rows*words
+	if len(data) != want {
+		return fmt.Errorf("%w: %d bytes for %dx%d matrix (want %d)", ErrBadEncoding, len(data), rows, cols, want)
+	}
+	fresh, err := New(rows, cols)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	for i := range fresh.data {
+		fresh.data[i] = binary.LittleEndian.Uint64(data[12+8*i:])
+	}
+	// Reject set bits beyond the column count (they would corrupt counts).
+	if tail := cols % 64; tail != 0 && words > 0 {
+		mask := ^uint64(0) << uint(tail)
+		for r := 0; r < rows; r++ {
+			if fresh.data[r*words+words-1]&mask != 0 {
+				return fmt.Errorf("%w: padding bits set in row %d", ErrBadEncoding, r)
+			}
+		}
+	}
+	*m = *fresh
+	return nil
+}

@@ -1,0 +1,88 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRoundTripQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := rng.Intn(10)+1, rng.Intn(200)+1
+		m := MustNew(rows, cols)
+		for i := 0; i < 100; i++ {
+			m.Set(rng.Intn(rows), rng.Intn(cols), rng.Intn(2) == 0)
+		}
+		raw, err := m.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back Matrix
+		if err := back.UnmarshalBinary(raw); err != nil {
+			return false
+		}
+		return m.Equal(&back)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarshalEmpty(t *testing.T) {
+	m := MustNew(0, 0)
+	raw, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Matrix
+	if err := back.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows() != 0 || back.Cols() != 0 {
+		t.Fatalf("dims = %dx%d", back.Rows(), back.Cols())
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var m Matrix
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		[]byte("XXXX\x01\x00\x00\x00\x01\x00\x00\x00"),  // bad magic
+		[]byte("BM1\n\x01\x00\x00\x00\x01\x00\x00\x00"), // truncated data
+	}
+	for i, raw := range cases {
+		if err := m.UnmarshalBinary(raw); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsPaddingBits(t *testing.T) {
+	m := MustNew(1, 5) // 5 columns → 59 padding bits in the word
+	raw, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] |= 0x80 // set a padding bit
+	var back Matrix
+	if err := back.UnmarshalBinary(raw); err == nil {
+		t.Fatal("padding-bit corruption accepted")
+	}
+}
+
+func TestUnmarshalLengthMismatch(t *testing.T) {
+	m := MustNew(2, 64)
+	raw, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Matrix
+	if err := back.UnmarshalBinary(raw[:len(raw)-8]); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	if err := back.UnmarshalBinary(append(raw, 0, 0, 0, 0, 0, 0, 0, 0)); err == nil {
+		t.Fatal("long payload accepted")
+	}
+}

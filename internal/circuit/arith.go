@@ -1,0 +1,108 @@
+package circuit
+
+import "fmt"
+
+// Arithmetic blocks used by the pure-MPC baseline, which — per the paper's
+// analysis of the unreordered computation flow (Section IV-A) — evaluates
+// the "complex floating point" β* formula inside the circuit instead of
+// comparing against a precomputed public threshold. Fixed-point division is
+// the cost driver: O(w²) AND gates per identity.
+
+// Sub returns x − y modulo 2^len(x) (two's-complement wraparound).
+func (b *Builder) Sub(x, y []Wire) ([]Wire, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("circuit: subtractor width mismatch %d vs %d", len(x), len(y))
+	}
+	out := make([]Wire, len(x))
+	borrow := Zero
+	for i := range x {
+		xb := b.XOR(x[i], borrow)
+		out[i] = b.XOR(xb, y[i])
+		if i < len(x)-1 {
+			yb := b.XOR(y[i], borrow)
+			borrow = b.XOR(b.AND(b.NOT(xb), yb), borrow)
+		}
+	}
+	return out, nil
+}
+
+// MulConst returns x · k truncated to width bits, via shift-and-add on the
+// set bits of the public constant k.
+func (b *Builder) MulConst(x []Wire, k uint64, width int) ([]Wire, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("circuit: MulConst width %d", width)
+	}
+	acc := ConstVec(0, width)
+	if k == 0 {
+		// Materialise zero through the caller's wires is impossible; return
+		// constant wires — downstream gates fold them.
+		return acc, nil
+	}
+	shifted := padTo(append([]Wire(nil), x...), width)
+	first := true
+	for bit := 0; bit < width; bit++ {
+		if k>>uint(bit)&1 == 1 {
+			term := shiftLeft(shifted, bit, width)
+			if first {
+				acc = term
+				first = false
+				continue
+			}
+			var err error
+			acc, err = b.Add(acc, term)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return acc, nil
+}
+
+// shiftLeft shifts the vector left by s positions within width (zero fill).
+func shiftLeft(x []Wire, s, width int) []Wire {
+	out := make([]Wire, width)
+	for i := 0; i < width; i++ {
+		if i < s || i-s >= len(x) {
+			out[i] = Zero
+		} else {
+			out[i] = x[i-s]
+		}
+	}
+	return out
+}
+
+// Div returns the unsigned quotient x / y (width of x), using a restoring
+// divider. Division by zero yields the all-ones quotient (saturation),
+// which downstream β handling treats as "certainly common".
+func (b *Builder) Div(x, y []Wire) ([]Wire, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("circuit: divider width mismatch %d vs %d", len(x), len(y))
+	}
+	w := len(x)
+	// Remainder register is w+1 bits so the shifted value fits before the
+	// conditional subtraction.
+	r := ConstVec(0, w+1)
+	d := padTo(append([]Wire(nil), y...), w+1)
+	q := make([]Wire, w)
+	for i := w - 1; i >= 0; i-- {
+		// r = (r << 1) | x[i]
+		shifted := make([]Wire, w+1)
+		shifted[0] = x[i]
+		copy(shifted[1:], r[:w])
+		ge, err := b.GreaterEq(shifted, d)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := b.Sub(shifted, d)
+		if err != nil {
+			return nil, err
+		}
+		next := make([]Wire, w+1)
+		for bi := range next {
+			next[bi] = b.MUX(ge, sub[bi], shifted[bi])
+		}
+		r = next
+		q[i] = ge
+	}
+	return q, nil
+}

@@ -1,0 +1,175 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file compiles the CountBelow program (Algorithm 2 of the ε-PPI
+// paper) to a boolean circuit, playing the role of FairplayMP's SFDL
+// compiler. Two variants are provided:
+//
+//   - CountBelow: the ε-PPI (MPC-reduced) form. The parties are the c
+//     coordinators; party k supplies, per identity j, its k-bit share
+//     s(k, j) of the frequency. The circuit reconstructs each frequency
+//     as Σ_k s(k,j) mod 2^width and compares it against the identity's
+//     public threshold, then outputs only the count of identities at or
+//     above threshold (the common-identity count that Equation 7 needs).
+//
+//   - PureMPC: the baseline form without SecSumShare. The parties are all
+//     m providers; party i supplies its raw membership *bit* per identity,
+//     and the circuit both aggregates (popcount over m bits per identity)
+//     and thresholds. Its size grows with m, which is exactly the
+//     super-linear cost Figure 6 attributes to the pure-MPC approach.
+//
+// Note on naming: the paper's Algorithm 2 counts elements *below* the
+// threshold but its Algorithm 1 consumes Σ 1{σ ≥ σ'}; the two differ only
+// by n − count. We follow Algorithm 1 and output the ≥-count.
+
+// ErrNoParams reports invalid compiler parameters.
+var ErrNoParams = errors.New("circuit: invalid CountBelow parameters")
+
+// CountBelowParams configures the MPC-reduced CountBelow compilation.
+type CountBelowParams struct {
+	// Parties is c, the number of coordinators (each holding one share
+	// vector).
+	Parties int
+	// Identities is the number of identities processed by the circuit.
+	Identities int
+	// ShareBits is the width of each share (the group is Z_{2^ShareBits});
+	// it must satisfy 2^ShareBits > m so frequencies don't wrap.
+	ShareBits int
+	// Thresholds holds the public per-identity thresholds t_j = σ'_j · m,
+	// one per identity.
+	Thresholds []uint64
+	// Arithmetic selects ripple (default) or log-depth prefix arithmetic.
+	Arithmetic Style
+}
+
+// CountBelow compiles the MPC-reduced CountBelow circuit.
+func CountBelow(p CountBelowParams) (*Circuit, error) {
+	if p.Parties < 2 || p.Identities < 1 || p.ShareBits < 1 {
+		return nil, fmt.Errorf("%w: %+v", ErrNoParams, p)
+	}
+	if len(p.Thresholds) != p.Identities {
+		return nil, fmt.Errorf("%w: %d thresholds for %d identities", ErrNoParams, len(p.Thresholds), p.Identities)
+	}
+	for j, t := range p.Thresholds {
+		if t == 0 {
+			// A zero threshold marks every identity common and degenerates
+			// the whole comparator to a constant; callers must clamp to 1.
+			return nil, fmt.Errorf("%w: zero threshold (identity %d)", ErrNoParams, j)
+		}
+		if BitsNeeded(t) > p.ShareBits {
+			return nil, fmt.Errorf("%w: threshold %d (identity %d) exceeds %d bits", ErrNoParams, t, j, p.ShareBits)
+		}
+	}
+	b := NewBuilder()
+	b.SetStyle(p.Arithmetic)
+	// Party k's inputs: identities × ShareBits wires, identity-major.
+	shares := make([][][]Wire, p.Parties) // [party][identity][bit]
+	for k := 0; k < p.Parties; k++ {
+		shares[k] = make([][]Wire, p.Identities)
+		for j := 0; j < p.Identities; j++ {
+			shares[k][j] = b.InputVec(k, p.ShareBits)
+		}
+	}
+	geq := make([]Wire, 0, p.Identities)
+	for j := 0; j < p.Identities; j++ {
+		vecs := make([][]Wire, p.Parties)
+		for k := 0; k < p.Parties; k++ {
+			vecs[k] = shares[k][j]
+		}
+		freq, err := b.SumMod(vecs) // mod 2^ShareBits reconstruction
+		if err != nil {
+			return nil, err
+		}
+		ge, err := b.GreaterEq(freq, ConstVec(p.Thresholds[j], p.ShareBits))
+		if err != nil {
+			return nil, err
+		}
+		geq = append(geq, ge)
+	}
+	count, err := b.PopCount(geq)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range count {
+		if err := b.Output(w); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// PureMPCParams configures the pure-MPC baseline compilation.
+type PureMPCParams struct {
+	// Providers is m: every provider is an MPC party contributing raw bits.
+	Providers int
+	// Identities is the number of identities processed by the circuit.
+	Identities int
+	// Thresholds holds the public per-identity thresholds t_j.
+	Thresholds []uint64
+}
+
+// PureMPC compiles the baseline circuit that takes every provider's raw
+// membership bit as a private input.
+func PureMPC(p PureMPCParams) (*Circuit, error) {
+	if p.Providers < 2 || p.Identities < 1 {
+		return nil, fmt.Errorf("%w: %+v", ErrNoParams, p)
+	}
+	if len(p.Thresholds) != p.Identities {
+		return nil, fmt.Errorf("%w: %d thresholds for %d identities", ErrNoParams, len(p.Thresholds), p.Identities)
+	}
+	width := BitsNeeded(uint64(p.Providers))
+	for j, t := range p.Thresholds {
+		if t == 0 {
+			return nil, fmt.Errorf("%w: zero threshold (identity %d)", ErrNoParams, j)
+		}
+		if BitsNeeded(t) > width {
+			return nil, fmt.Errorf("%w: threshold %d (identity %d) exceeds %d bits", ErrNoParams, t, j, width)
+		}
+	}
+	b := NewBuilder()
+	bits := make([][]Wire, p.Identities) // [identity][provider]
+	for j := range bits {
+		bits[j] = make([]Wire, p.Providers)
+	}
+	// Input order: provider-major, matching how each party feeds its vector.
+	for i := 0; i < p.Providers; i++ {
+		for j := 0; j < p.Identities; j++ {
+			bits[j][i] = b.Input(i)
+		}
+	}
+	geq := make([]Wire, 0, p.Identities)
+	for j := 0; j < p.Identities; j++ {
+		freq, err := b.PopCount(bits[j])
+		if err != nil {
+			return nil, err
+		}
+		// Pad or trim the popcount to the comparator width.
+		freq = padTo(freq, width)
+		ge, err := b.GreaterEq(freq, ConstVec(p.Thresholds[j], width))
+		if err != nil {
+			return nil, err
+		}
+		geq = append(geq, ge)
+	}
+	count, err := b.PopCount(geq)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range count {
+		if err := b.Output(w); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+func padTo(v []Wire, width int) []Wire {
+	for len(v) < width {
+		v = append(v, Zero)
+	}
+	return v[:width]
+}

@@ -1,0 +1,118 @@
+package circuit
+
+import "fmt"
+
+// Parallel-prefix (Kogge–Stone) arithmetic. In the GMW protocol every AND
+// depth level costs one communication round, so on latency-bound networks
+// a log-depth adder beats the ripple adder even though it spends more AND
+// gates. The Builder carries an adder style so the circuit compilers can
+// be switched wholesale (the ablation-depth experiment quantifies the
+// trade).
+//
+// Prefix cells combine (generate, propagate) pairs:
+//
+//	(G, P) = (G_hi ⊕ (P_hi ∧ G_lo), P_hi ∧ P_lo)
+//
+// where the ⊕ stands in for ∨ because G_hi and P_hi are mutually
+// exclusive by construction (a bit position either generates or
+// propagates a carry, never both).
+
+// Style selects the arithmetic implementation used by Add/LessThan and
+// everything built on them.
+type Style int
+
+// Adder styles. The zero value is ripple (the simple default).
+const (
+	// StyleRipple: O(w) AND gates, O(w) AND depth.
+	StyleRipple Style = iota
+	// StylePrefix: Kogge–Stone, O(w log w) AND gates, O(log w) AND depth.
+	StylePrefix
+)
+
+// String names the style.
+func (s Style) String() string {
+	switch s {
+	case StyleRipple:
+		return "ripple"
+	case StylePrefix:
+		return "prefix"
+	default:
+		return fmt.Sprintf("style(%d)", int(s))
+	}
+}
+
+// SetStyle selects the arithmetic style for subsequent word-level blocks.
+func (b *Builder) SetStyle(s Style) { b.style = s }
+
+// prefixCarries returns the carry INTO every bit position (carry[0] = cin
+// fold, len = w) plus the carry out, for inputs with generate g and
+// propagate p vectors, using Kogge–Stone prefix combination.
+func (b *Builder) prefixCarries(g, p []Wire, cin Wire) (carries []Wire, cout Wire) {
+	w := len(g)
+	// Fold the carry-in into position 0's generate: a carry leaves bit 0
+	// if it generates, or propagates the incoming carry.
+	gAll := make([]Wire, w)
+	pAll := make([]Wire, w)
+	copy(gAll, g)
+	copy(pAll, p)
+	if cin != Zero {
+		gAll[0] = b.XOR(gAll[0], b.AND(pAll[0], cin))
+	}
+	// Kogge–Stone: after level d, (gAll[i], pAll[i]) describes the span
+	// [i-2d+1 .. i].
+	for d := 1; d < w; d <<= 1 {
+		ng := make([]Wire, w)
+		np := make([]Wire, w)
+		copy(ng, gAll)
+		copy(np, pAll)
+		for i := d; i < w; i++ {
+			ng[i] = b.XOR(gAll[i], b.AND(pAll[i], gAll[i-d]))
+			np[i] = b.AND(pAll[i], pAll[i-d])
+		}
+		gAll, pAll = ng, np
+	}
+	carries = make([]Wire, w)
+	carries[0] = cin
+	for i := 1; i < w; i++ {
+		carries[i] = gAll[i-1]
+	}
+	return carries, gAll[w-1]
+}
+
+// addPrefix is the log-depth counterpart of the ripple Add.
+func (b *Builder) addPrefix(x, y []Wire) ([]Wire, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("circuit: adder width mismatch %d vs %d", len(x), len(y))
+	}
+	w := len(x)
+	g := make([]Wire, w)
+	p := make([]Wire, w)
+	for i := 0; i < w; i++ {
+		g[i] = b.AND(x[i], y[i])
+		p[i] = b.XOR(x[i], y[i])
+	}
+	carries, _ := b.prefixCarries(g, p, Zero)
+	out := make([]Wire, w)
+	for i := 0; i < w; i++ {
+		out[i] = b.XOR(p[i], carries[i])
+	}
+	return out, nil
+}
+
+// lessThanPrefix computes x < y in logarithmic AND depth via the carry-out
+// of x + ¬y + 1: the addition overflows exactly when x >= y.
+func (b *Builder) lessThanPrefix(x, y []Wire) (Wire, error) {
+	if len(x) != len(y) {
+		return Zero, fmt.Errorf("circuit: comparator width mismatch %d vs %d", len(x), len(y))
+	}
+	w := len(x)
+	g := make([]Wire, w)
+	p := make([]Wire, w)
+	for i := 0; i < w; i++ {
+		ny := b.NOT(y[i])
+		g[i] = b.AND(x[i], ny)
+		p[i] = b.XOR(x[i], ny)
+	}
+	_, cout := b.prefixCarries(g, p, One)
+	return b.NOT(cout), nil
+}

@@ -1,0 +1,191 @@
+package collusion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/secretshare"
+	"repro/internal/secsum"
+	"repro/internal/transport"
+)
+
+const (
+	testM = 9 // providers
+	testC = 3 // coordinators / share count
+	testN = 4 // identities
+)
+
+func runRecorded(t *testing.T, inputs [][]uint64, seed int64) (*RecordingNetwork, secretshare.Scheme) {
+	t.Helper()
+	f, err := field.New(10007)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := secretshare.New(f, testC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := transport.NewInMem(len(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecording(inner)
+	if _, err := secsum.Run(rec, scheme, inputs, seed); err != nil {
+		t.Fatal(err)
+	}
+	return rec, scheme
+}
+
+func testInputs(rng *rand.Rand) ([][]uint64, []uint64) {
+	inputs := make([][]uint64, testM)
+	freqs := make([]uint64, testN)
+	for i := range inputs {
+		inputs[i] = make([]uint64, testN)
+		for j := range inputs[i] {
+			v := uint64(rng.Intn(2))
+			inputs[i][j] = v
+			freqs[j] += v
+		}
+	}
+	return inputs, freqs
+}
+
+func TestFullCoordinatorCoalitionReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inputs, freqs := testInputs(rng)
+	rec, scheme := runRecorded(t, inputs, 2)
+	defer rec.Close()
+	coal, err := NewCoalition(rec, []int{0, 1, 2}, inputs) // all c coordinators
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coal.ReconstructFrequencies(scheme, testN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range freqs {
+		if got[j] != freqs[j] {
+			t.Fatalf("identity %d: reconstructed %d, want %d", j, got[j], freqs[j])
+		}
+	}
+}
+
+func TestSubThresholdCoalitionCannotReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inputs, _ := testInputs(rng)
+	rec, scheme := runRecorded(t, inputs, 4)
+	defer rec.Close()
+	// Two of three coordinators plus two extra providers: still missing
+	// coordinator 2's vector.
+	coal, err := NewCoalition(rec, []int{0, 1, 5, 7}, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coal.ReconstructFrequencies(scheme, testN); err == nil {
+		t.Fatal("sub-threshold coalition reconstructed the frequencies")
+	}
+}
+
+func TestCoalitionValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inputs, _ := testInputs(rng)
+	rec, _ := runRecorded(t, inputs, 6)
+	defer rec.Close()
+	if _, err := NewCoalition(rec, []int{99}, inputs); err == nil {
+		t.Fatal("out-of-range member accepted")
+	}
+	coal, err := NewCoalition(rec, []int{3}, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coal.Contains(4) || !coal.Contains(3) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+// Indistinguishability: the share values a sub-threshold coalition observes
+// are statistically independent of the honest providers' secrets. We run
+// the protocol many times in two "worlds" that differ only in non-member
+// inputs and compare the empirical mean of observed shares — they must
+// agree within noise (uniform distribution over Z_q in both worlds).
+func TestObservedSharesIndependentOfSecrets(t *testing.T) {
+	f, err := field.New(101) // small field so means converge fast
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := secretshare.New(f, testC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanObserved := func(world uint64, seedBase int64) float64 {
+		var sum, count float64
+		for trial := 0; trial < 300; trial++ {
+			inputs := make([][]uint64, testM)
+			for i := range inputs {
+				inputs[i] = []uint64{world} // every honest input = world value
+			}
+			inner, err := transport.NewInMem(testM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := NewRecording(inner)
+			if _, err := secsum.Run(rec, scheme, inputs, seedBase+int64(trial)); err != nil {
+				t.Fatal(err)
+			}
+			coal, err := NewCoalition(rec, []int{0, 4}, inputs) // 1 coordinator + 1 provider
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, obs := range coal.ShareObservations(1) {
+				for _, v := range obs {
+					sum += float64(v)
+					count++
+				}
+			}
+			rec.Close()
+		}
+		return sum / count
+	}
+	m0 := meanObserved(0, 1000)
+	m1 := meanObserved(1, 5000)
+	// Uniform over Z_101 has mean 50; allow generous sampling noise.
+	if math.Abs(m0-50) > 5 || math.Abs(m1-50) > 5 {
+		t.Fatalf("observed share means %v / %v stray from uniform", m0, m1)
+	}
+	if math.Abs(m0-m1) > 7 {
+		t.Fatalf("coalition view distinguishes worlds: %v vs %v", m0, m1)
+	}
+}
+
+func TestRecordingCapturesTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inputs, _ := testInputs(rng)
+	rec, _ := runRecorded(t, inputs, 8)
+	defer rec.Close()
+	// Every provider receives c-1 = 2 share messages; coordinators also
+	// receive super-shares.
+	for id := 0; id < testM; id++ {
+		msgs := rec.Received(id)
+		shares := 0
+		supers := 0
+		for _, m := range msgs {
+			switch m.Kind {
+			case transport.KindShare:
+				shares++
+			case transport.KindSuperShare:
+				supers++
+			}
+		}
+		if shares != testC-1 {
+			t.Fatalf("provider %d received %d share messages, want %d", id, shares, testC-1)
+		}
+		if id < testC && supers == 0 {
+			t.Fatalf("coordinator %d received no super-shares", id)
+		}
+		if id >= testC && supers != 0 {
+			t.Fatalf("non-coordinator %d received super-shares", id)
+		}
+	}
+}

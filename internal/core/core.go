@@ -1,0 +1,342 @@
+// Package core implements the ε-PPI construction engine: the two-phase
+// framework of Section III of the paper (β calculation, then randomized
+// publication), including the common-identity mixing defence.
+//
+// Two execution paths produce identical statistical behaviour:
+//
+//   - ModeTrusted computes identity frequencies directly from the private
+//     matrix. It exists for large-scale simulation (Figures 4 and 5 use
+//     networks of 10,000 providers) where running the cryptographic
+//     protocol per sample would dominate experiment time.
+//
+//   - ModeSecure runs the real distributed pipeline: SecSumShare over all
+//     m providers, then two GMW computations among the c coordinators
+//     (CountBelow for the common count, Reveal for per-identity mixing and
+//     masked frequency release). No frequency of a hidden identity is ever
+//     reconstructed outside a circuit.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitmat"
+	"repro/internal/circuit"
+	"repro/internal/mathx"
+	"repro/internal/transport"
+)
+
+// Mode selects the construction execution path.
+type Mode int
+
+// Construction modes.
+const (
+	// ModeTrusted aggregates frequencies in the clear (simulation path).
+	ModeTrusted Mode = iota + 1
+	// ModeSecure runs SecSumShare + GMW (the paper's actual protocol).
+	ModeSecure
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeTrusted:
+		return "trusted"
+	case ModeSecure:
+		return "secure"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// DefaultCoinBits is the default mixing-coin precision (λ resolution of
+// 2^-16).
+const DefaultCoinBits = 16
+
+// TripleSource selects the Beaver-triple preprocessing for ModeSecure.
+type TripleSource int
+
+// Triple sources. The zero value is the dealer because it is the sensible
+// default for simulation-scale runs (the paper's FairplayMP likewise
+// assumes preprocessing exists).
+const (
+	// TripleDealer uses a trusted offline dealer (fast; the default).
+	TripleDealer TripleSource = iota
+	// TripleOT generates triples with the pairwise oblivious-transfer
+	// protocol (gmw.GenTriplesOT) — no trusted party, at real
+	// public-key-operation cost.
+	TripleOT
+)
+
+// String names the source.
+func (s TripleSource) String() string {
+	switch s {
+	case TripleDealer:
+		return "dealer"
+	case TripleOT:
+		return "ot"
+	default:
+		return fmt.Sprintf("triples(%d)", int(s))
+	}
+}
+
+// Config parameterises a construction run.
+type Config struct {
+	// Policy selects the β-calculation policy.
+	Policy mathx.Policy
+	// Delta is Δ for mathx.PolicyIncremented.
+	Delta float64
+	// Gamma is γ for mathx.PolicyChernoff.
+	Gamma float64
+	// Mode selects trusted aggregation or the secure protocol.
+	Mode Mode
+	// C is the coordinator count (collusion tolerance) for ModeSecure.
+	C int
+	// CoinBits is the mixing-coin precision (DefaultCoinBits when 0).
+	CoinBits int
+	// Seed drives all randomness of the run (deterministic experiments).
+	Seed int64
+	// XiOverride, when positive, fixes the mixing fraction ξ instead of
+	// deriving it from the ε of common identities.
+	XiOverride float64
+	// BatchSize caps the number of identities compiled into a single MPC
+	// circuit in ModeSecure; larger identity sets are processed in
+	// sequential batches, bounding circuit size and memory. 0 means one
+	// batch for everything.
+	BatchSize int
+	// Triples selects the MPC preprocessing source (dealer by default;
+	// TripleOT runs the real oblivious-transfer protocol).
+	Triples TripleSource
+	// Arithmetic selects the circuit adder style: ripple (default) or
+	// log-depth parallel-prefix, which trades AND gates for fewer GMW
+	// communication rounds (latency-bound deployments).
+	Arithmetic circuit.Style
+	// NewNetwork supplies the transport for ModeSecure; defaults to the
+	// in-memory transport.
+	NewNetwork func(parties int) (transport.Network, error)
+}
+
+func (c Config) coinBits() int {
+	if c.CoinBits == 0 {
+		return DefaultCoinBits
+	}
+	return c.CoinBits
+}
+
+var (
+	// ErrBadConfig reports an invalid configuration.
+	ErrBadConfig = errors.New("core: invalid configuration")
+	// ErrShape reports mismatched matrix/ε dimensions.
+	ErrShape = errors.New("core: ε vector does not match matrix")
+)
+
+func (c Config) validate() error {
+	if !c.Policy.Valid() {
+		return fmt.Errorf("%w: policy %v", ErrBadConfig, c.Policy)
+	}
+	switch c.Mode {
+	case ModeTrusted:
+	case ModeSecure:
+		if c.C < 2 {
+			return fmt.Errorf("%w: secure mode needs C >= 2, got %d", ErrBadConfig, c.C)
+		}
+	default:
+		return fmt.Errorf("%w: mode %v", ErrBadConfig, c.Mode)
+	}
+	if c.CoinBits < 0 || c.CoinBits > 62 {
+		return fmt.Errorf("%w: coin bits %d", ErrBadConfig, c.CoinBits)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("%w: batch size %d", ErrBadConfig, c.BatchSize)
+	}
+	if c.Triples != TripleDealer && c.Triples != TripleOT {
+		return fmt.Errorf("%w: triple source %v", ErrBadConfig, c.Triples)
+	}
+	return nil
+}
+
+// SecureStats records the cost of the secure pipeline stages.
+type SecureStats struct {
+	// SecSum is the traffic of the SecSumShare stage.
+	SecSum transport.Stats
+	// SecSumRounds is its round count (always 2).
+	SecSumRounds int
+	// CountBelowCircuit summarises the common-count circuit.
+	CountBelowCircuit circuit.Stats
+	// RevealCircuit summarises the mixing/reveal circuit.
+	RevealCircuit circuit.Stats
+	// MPC is the combined traffic of both GMW executions.
+	MPC transport.Stats
+	// MPCRounds is the combined GMW round count.
+	MPCRounds int
+}
+
+// Result is the outcome of a construction run.
+type Result struct {
+	// Published is the constructed matrix M' (same shape as the input M).
+	Published *bitmat.Matrix
+	// Betas holds the final per-identity publishing probabilities β_j
+	// (1 for hidden identities).
+	Betas []float64
+	// Thresholds holds the public common thresholds t_j (frequency counts;
+	// m+1 means the identity can never be common).
+	Thresholds []uint64
+	// Hidden marks identities published as common (true commons plus
+	// mixed-in non-commons).
+	Hidden []bool
+	// CommonCount is the number of true common identities (in ModeSecure
+	// this is the count released by CountBelow — the only frequency-derived
+	// scalar the protocol reveals).
+	CommonCount int
+	// Lambda is the mixing probability applied to non-common identities.
+	Lambda float64
+	// Xi is the false-positive fraction targeted within the published
+	// common set.
+	Xi float64
+	// Secure carries protocol cost accounting (nil in ModeTrusted).
+	Secure *SecureStats
+}
+
+// rawBeta evaluates the configured policy without clamping.
+func (c Config) rawBeta(sigma, epsilon float64, m int) float64 {
+	switch c.Policy {
+	case mathx.PolicyBasic:
+		return mathx.BetaBasic(sigma, epsilon)
+	case mathx.PolicyIncremented:
+		return mathx.BetaIncremented(sigma, epsilon, c.Delta)
+	default:
+		return mathx.BetaChernoff(sigma, epsilon, m, c.Gamma)
+	}
+}
+
+// Threshold returns t_j: the smallest frequency count (1..m) at which the
+// configured policy reaches β* >= 1 for privacy degree epsilon, or m+1 if
+// the identity can never be common. The policies are monotone in σ, so a
+// binary search suffices; the result is public (it depends only on public
+// parameters), matching Algorithm 1's σ' computation.
+func (c Config) Threshold(epsilon float64, m int) uint64 {
+	if m <= 0 {
+		return 1
+	}
+	if !mathx.IsCommon(c.rawBeta(1, epsilon, m)) {
+		return uint64(m + 1)
+	}
+	lo, hi := 1, m // invariant: answer in [lo, hi]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if mathx.IsCommon(c.rawBeta(float64(mid)/float64(m), epsilon, m)) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return uint64(lo)
+}
+
+// Construct builds the ε-PPI for private matrix truth (providers × owners)
+// and per-owner privacy degrees eps.
+func Construct(truth *bitmat.Matrix, eps []float64, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m, n := truth.Rows(), truth.Cols()
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("%w: empty matrix %dx%d", ErrShape, m, n)
+	}
+	if len(eps) != n {
+		return nil, fmt.Errorf("%w: %d ε values for %d owners", ErrShape, len(eps), n)
+	}
+	for j, e := range eps {
+		if e < 0 || e > 1 {
+			return nil, fmt.Errorf("%w: ε[%d]=%v out of [0,1]", ErrShape, j, e)
+		}
+	}
+
+	thresholds := make([]uint64, n)
+	for j := range thresholds {
+		thresholds[j] = cfg.Threshold(eps[j], m)
+	}
+
+	switch cfg.Mode {
+	case ModeTrusted:
+		return constructTrusted(truth, eps, thresholds, cfg)
+	default:
+		return constructSecure(truth, eps, thresholds, cfg)
+	}
+}
+
+// constructTrusted runs the simulation path: frequencies in the clear.
+func constructTrusted(truth *bitmat.Matrix, eps []float64, thresholds []uint64, cfg Config) (*Result, error) {
+	m, n := truth.Rows(), truth.Cols()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	freqs := make([]uint64, n)
+	commons := 0
+	for j := 0; j < n; j++ {
+		freqs[j] = uint64(truth.ColCount(j))
+		if freqs[j] >= thresholds[j] {
+			commons++
+		}
+	}
+	xi := cfg.XiOverride
+	if xi <= 0 {
+		for j := 0; j < n; j++ {
+			if freqs[j] >= thresholds[j] && eps[j] > xi {
+				xi = eps[j]
+			}
+		}
+	}
+	lambda, err := mathx.Lambda(xi, commons, n)
+	if err != nil {
+		return nil, err
+	}
+
+	hidden := make([]bool, n)
+	betas := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if freqs[j] >= thresholds[j] || mathx.Bernoulli(rng, lambda) {
+			hidden[j] = true
+			betas[j] = 1
+			continue
+		}
+		sigma := float64(freqs[j]) / float64(m)
+		b, err := mathx.Beta(cfg.Policy, mathx.BetaParams{
+			Sigma: sigma, Epsilon: eps[j], M: m, Delta: cfg.Delta, Gamma: cfg.Gamma,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("β for identity %d: %w", j, err)
+		}
+		betas[j] = b
+	}
+
+	published := Publish(truth, betas, rng)
+	return &Result{
+		Published:   published,
+		Betas:       betas,
+		Thresholds:  thresholds,
+		Hidden:      hidden,
+		CommonCount: commons,
+		Lambda:      lambda,
+		Xi:          xi,
+	}, nil
+}
+
+// Publish applies the randomized publication rule of Equation 2: true bits
+// are copied unchanged (1 → 1, guaranteeing 100% recall), false bits flip
+// to 1 independently with probability β_j.
+func Publish(truth *bitmat.Matrix, betas []float64, rng *rand.Rand) *bitmat.Matrix {
+	published := truth.Clone()
+	m, n := truth.Rows(), truth.Cols()
+	for j := 0; j < n; j++ {
+		beta := betas[j]
+		if beta <= 0 {
+			continue
+		}
+		for i := 0; i < m; i++ {
+			if !truth.Get(i, j) && mathx.Bernoulli(rng, beta) {
+				published.Set(i, j, true)
+			}
+		}
+	}
+	return published
+}

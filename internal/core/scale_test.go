@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/mathx"
+	"repro/internal/workload"
+)
+
+// Paper-scale smoke test: the dataset of [23] spans up to 25,000
+// collections; a trusted-mode construction over that scale must complete
+// and keep its invariants. Skipped under -short.
+func TestConstructAtPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale construction skipped in -short mode")
+	}
+	const (
+		m = 25000
+		n = 500
+	)
+	// ε capped at 0.9 and head frequency at m/20: an owner with ε→1 that
+	// is also common forces ξ→1 and the whole index degenerates to
+	// broadcast (correct but uninformative); this test targets the
+	// fp-noise regime.
+	d, err := workload.GenerateZipf(workload.ZipfConfig{
+		Providers:    m,
+		Owners:       n,
+		Exponent:     1.1,
+		MaxFrequency: m / 20,
+		EpsLow:       0.1,
+		EpsHigh:      0.9,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Construct(d.Matrix, d.Eps, Config{
+		Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: ModeTrusted, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Published.Covers(d.Matrix) {
+		t.Fatal("recall lost at scale")
+	}
+	// Success ratio across all revealed identities must be near γ.
+	met, revealed := 0, 0
+	for j := 0; j < n; j++ {
+		if res.Hidden[j] {
+			continue
+		}
+		revealed++
+		fp, err := bitmat.ColFalsePositiveRate(d.Matrix, res.Published, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp >= d.Eps[j] {
+			met++
+		}
+	}
+	if revealed == 0 {
+		t.Fatal("every identity hidden at scale (unexpected)")
+	}
+	if rate := float64(met) / float64(revealed); rate < 0.85 {
+		t.Fatalf("success ratio %v over %d revealed identities, want >= 0.85", rate, revealed)
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitmat"
+	"repro/internal/circuit"
+	"repro/internal/field"
+	"repro/internal/gmw"
+	"repro/internal/mathx"
+	"repro/internal/secretshare"
+	"repro/internal/secsum"
+	"repro/internal/transport"
+)
+
+// addCircuitStats accumulates per-batch circuit statistics (sizes add;
+// depth takes the maximum, as batches run sequentially but each batch's
+// rounds are its own depth).
+func addCircuitStats(acc, s circuit.Stats) circuit.Stats {
+	acc.Wires += s.Wires
+	acc.Gates += s.Gates
+	acc.AndGates += s.AndGates
+	acc.FreeGates += s.FreeGates
+	acc.Inputs += s.Inputs
+	acc.Outputs += s.Outputs
+	if s.AndDepth > acc.AndDepth {
+		acc.AndDepth = s.AndDepth
+	}
+	return acc
+}
+
+// constructSecure runs the real distributed pipeline of Section IV:
+//
+//	Stage A (m providers): SecSumShare → c coordinator share vectors over
+//	        the additive group Z_{2^k}, k = bits(m+1).
+//	Stage B (c coordinators, GMW): CountBelow → public common count.
+//	        λ is then computed publicly from the count (Equation 7).
+//	Stage C (c coordinators, GMW): Reveal → per identity, a hidden bit
+//	        (common ∨ mixed) and the frequency, opened only when not
+//	        hidden. β follows Equation 6.
+//	Phase 2 (every provider, local): randomized publication.
+//
+// ξ is taken over identities that *can* be common (public thresholds
+// t_j <= m); the trusted path uses the paper's exact max-over-true-commons,
+// which the secure path cannot evaluate without leaking the common set.
+// The conservative ξ only ever increases λ, i.e. strengthens mixing.
+func constructSecure(truth *bitmat.Matrix, eps []float64, thresholds []uint64, cfg Config) (*Result, error) {
+	m, n := truth.Rows(), truth.Cols()
+	c := cfg.C
+	if m < c {
+		return nil, fmt.Errorf("%w: %d providers cannot host %d coordinators", ErrBadConfig, m, c)
+	}
+	newNet := cfg.NewNetwork
+	if newNet == nil {
+		newNet = func(parties int) (transport.Network, error) { return transport.NewInMem(parties) }
+	}
+	shareBits := circuit.BitsNeeded(uint64(m + 1))
+	group, err := field.NewAdditive(1 << uint(shareBits))
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := secretshare.New(group, c)
+	if err != nil {
+		return nil, err
+	}
+	stats := &SecureStats{}
+
+	// --- Stage A: SecSumShare over all m providers -------------------------
+	inputs := make([][]uint64, m)
+	for i := 0; i < m; i++ {
+		row := make([]uint64, n)
+		for j := 0; j < n; j++ {
+			if truth.Get(i, j) {
+				row[j] = 1
+			}
+		}
+		inputs[i] = row
+	}
+	provNet, err := newNet(m)
+	if err != nil {
+		return nil, fmt.Errorf("provider network: %w", err)
+	}
+	sumRes, err := secsum.Run(provNet, scheme, inputs, cfg.Seed)
+	closeErr := provNet.Close()
+	if err != nil {
+		return nil, fmt.Errorf("SecSumShare: %w", err)
+	}
+	if closeErr != nil {
+		return nil, fmt.Errorf("provider network close: %w", closeErr)
+	}
+	stats.SecSum = sumRes.Stats
+	stats.SecSumRounds = sumRes.Rounds
+
+	// runMPC executes one coordinator-side secure computation, sourcing
+	// preprocessing per the configuration (dealer, or pairwise OT run over
+	// the same fresh network before the online phase).
+	runMPC := func(circ *circuit.Circuit, inputs [][]bool, seed int64) (*gmw.Result, error) {
+		mpcNet, err := newNet(c)
+		if err != nil {
+			return nil, fmt.Errorf("coordinator network: %w", err)
+		}
+		var res *gmw.Result
+		if cfg.Triples == TripleOT {
+			triples, terr := gmw.GenTriplesOT(mpcNet, circ.Stats().AndGates, seed+7919)
+			if terr != nil {
+				mpcNet.Close()
+				return nil, fmt.Errorf("OT preprocessing: %w", terr)
+			}
+			res, err = gmw.RunWithTriples(mpcNet, circ, inputs, triples, seed)
+		} else {
+			res, err = gmw.Run(mpcNet, circ, inputs, seed)
+		}
+		closeErr := mpcNet.Close()
+		if err != nil {
+			return nil, err
+		}
+		if closeErr != nil {
+			return nil, fmt.Errorf("coordinator network close: %w", closeErr)
+		}
+		return res, nil
+	}
+
+	// --- Stage B: CountBelow among the c coordinators ----------------------
+	// Identities are processed in batches (Config.BatchSize) so circuit
+	// size and memory stay bounded for large n. The per-batch common
+	// counts are summed into the global count; batch boundaries are public
+	// parameters, so the extra release is the count granularity only.
+	batch := cfg.BatchSize
+	if batch <= 0 || batch > n {
+		batch = n
+	}
+	commonCount := 0
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		cbCirc, err := circuit.CountBelow(circuit.CountBelowParams{
+			Parties:    c,
+			Identities: hi - lo,
+			ShareBits:  shareBits,
+			Thresholds: thresholds[lo:hi],
+			Arithmetic: cfg.Arithmetic,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("compile CountBelow [%d:%d]: %w", lo, hi, err)
+		}
+		stats.CountBelowCircuit = addCircuitStats(stats.CountBelowCircuit, cbCirc.Stats())
+		cbInputs := make([][]bool, c)
+		for k := 0; k < c; k++ {
+			bits := make([]bool, 0, (hi-lo)*shareBits)
+			for j := lo; j < hi; j++ {
+				bits = append(bits, circuit.PackBits(sumRes.CoordinatorShares[k][j], shareBits)...)
+			}
+			cbInputs[k] = bits
+		}
+		cbRes, err := runMPC(cbCirc, cbInputs, cfg.Seed+1+int64(lo))
+		if err != nil {
+			return nil, fmt.Errorf("CountBelow MPC [%d:%d]: %w", lo, hi, err)
+		}
+		commonCount += int(circuit.UnpackBits(cbRes.Outputs))
+		stats.MPC.Messages += cbRes.Stats.Messages
+		stats.MPC.Bytes += cbRes.Stats.Bytes
+		stats.MPCRounds += cbRes.Rounds
+	}
+
+	// λ from the public count (Equation 7), with conservative public ξ.
+	xi := cfg.XiOverride
+	if xi <= 0 {
+		for j := 0; j < n; j++ {
+			if thresholds[j] <= uint64(m) && eps[j] > xi {
+				xi = eps[j]
+			}
+		}
+	}
+	lambda, err := mathx.Lambda(xi, commonCount, n)
+	if err != nil {
+		return nil, err
+	}
+	coinBits := cfg.coinBits()
+	coinMod := uint64(1) << uint(coinBits)
+	mixThreshold := uint64(lambda * float64(coinMod))
+	if mixThreshold >= coinMod {
+		mixThreshold = coinMod - 1 // λ ≈ 1 clamped to the coin resolution
+	}
+
+	// --- Stage C: Reveal among the c coordinators (same batching) ----------
+	coinRng := rand.New(rand.NewSource(cfg.Seed + 2))
+	hidden := make([]bool, n)
+	betas := make([]float64, n)
+	per := 1 + shareBits
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		rvCirc, err := circuit.Reveal(circuit.RevealParams{
+			Parties:      c,
+			Identities:   hi - lo,
+			ShareBits:    shareBits,
+			Thresholds:   thresholds[lo:hi],
+			CoinBits:     coinBits,
+			MixThreshold: mixThreshold,
+			Arithmetic:   cfg.Arithmetic,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("compile Reveal [%d:%d]: %w", lo, hi, err)
+		}
+		stats.RevealCircuit = addCircuitStats(stats.RevealCircuit, rvCirc.Stats())
+		rvInputs := make([][]bool, c)
+		for k := 0; k < c; k++ {
+			bits := make([]bool, 0, (hi-lo)*(shareBits+coinBits))
+			for j := lo; j < hi; j++ {
+				bits = append(bits, circuit.PackBits(sumRes.CoordinatorShares[k][j], shareBits)...)
+				bits = append(bits, circuit.PackBits(coinRng.Uint64()%coinMod, coinBits)...)
+			}
+			rvInputs[k] = bits
+		}
+		rvRes, err := runMPC(rvCirc, rvInputs, cfg.Seed+3+int64(lo))
+		if err != nil {
+			return nil, fmt.Errorf("Reveal MPC [%d:%d]: %w", lo, hi, err)
+		}
+		stats.MPC.Messages += rvRes.Stats.Messages
+		stats.MPC.Bytes += rvRes.Stats.Bytes
+		stats.MPCRounds += rvRes.Rounds
+
+		// Decode per-identity (hidden, maskedFreq) and derive β (Eq. 6).
+		if len(rvRes.Outputs) != per*(hi-lo) {
+			return nil, fmt.Errorf("core: reveal output length %d, want %d", len(rvRes.Outputs), per*(hi-lo))
+		}
+		for j := lo; j < hi; j++ {
+			off := (j - lo) * per
+			hidden[j] = rvRes.Outputs[off]
+			if hidden[j] {
+				betas[j] = 1
+				continue
+			}
+			freq := circuit.UnpackBits(rvRes.Outputs[off+1 : off+per])
+			sigma := float64(freq) / float64(m)
+			b, err := mathx.Beta(cfg.Policy, mathx.BetaParams{
+				Sigma: sigma, Epsilon: eps[j], M: m, Delta: cfg.Delta, Gamma: cfg.Gamma,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("β for identity %d: %w", j, err)
+			}
+			betas[j] = b
+		}
+	}
+
+	// Phase 2: every provider publishes locally using the public β vector.
+	pubRng := rand.New(rand.NewSource(cfg.Seed + 4))
+	published := Publish(truth, betas, pubRng)
+	return &Result{
+		Published:   published,
+		Betas:       betas,
+		Thresholds:  thresholds,
+		Hidden:      hidden,
+		CommonCount: commonCount,
+		Lambda:      lambda,
+		Xi:          xi,
+		Secure:      stats,
+	}, nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV renderers: machine-readable output for plotting the reproduced
+// figures with external tooling (`eppi-bench -format csv`).
+
+// RenderCSV writes the figure as CSV: a header of x plus one column per
+// series, one row per x value.
+func (f *Figure) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(f.Series)+1)
+	header = append(header, f.XLabel)
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	if len(f.Series) > 0 {
+		for i, p := range f.Series[0].Points {
+			row := []string{formatFloat(p.X)}
+			for _, s := range f.Series {
+				if i < len(s.Points) {
+					row = append(row, formatFloat(s.Points[i].Y))
+				} else {
+					row = append(row, "")
+				}
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("experiments: csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderCSV writes the table as CSV.
+func (t *TableResult) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return trimFloat(v)
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/grouping"
+	"repro/internal/mathx"
+	"repro/internal/workload"
+)
+
+// Figure 4 compares the non-grouping ε-PPI (incremented-expectation Δ=0.01
+// and Chernoff γ=0.9 policies) against grouping PPIs at several group
+// counts. Success ratio is the fraction of sampled identities whose
+// achieved false-positive rate meets the desired ε. Default setting per the
+// paper: 10,000 providers, expected false-positive rate 0.8, 20 samples.
+
+// fig4Scale returns (providers, samples, groupCounts) for the run scale.
+func fig4Scale(quick bool) (int, int, []int) {
+	if quick {
+		return 1000, 30, []int{40, 100, 250}
+	}
+	return 10000, 20, []int{400, 1000, 2000, 2500}
+}
+
+// successRatio returns the fraction of identity columns whose published
+// false-positive rate reaches their ε.
+func successRatio(truth, published *bitmat.Matrix, eps []float64) (float64, error) {
+	n := truth.Cols()
+	if n == 0 {
+		return 0, fmt.Errorf("experiments: empty matrix")
+	}
+	ok := 0
+	for j := 0; j < n; j++ {
+		fp, err := bitmat.ColFalsePositiveRate(truth, published, j)
+		if err != nil {
+			return 0, err
+		}
+		if fp >= eps[j] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(n), nil
+}
+
+// epsSlice returns n copies of eps.
+func epsSlice(n int, eps float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = eps
+	}
+	return out
+}
+
+// nonGroupingSuccess constructs an ε-PPI over the dataset and measures the
+// success ratio.
+func nonGroupingSuccess(d *workload.Dataset, eps []float64, cfg core.Config) (float64, error) {
+	res, err := core.Construct(d.Matrix, eps, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return successRatio(d.Matrix, res.Published, eps)
+}
+
+// groupingSuccess constructs a grouping PPI and measures the success ratio.
+func groupingSuccess(d *workload.Dataset, eps []float64, groups int, seed int64) (float64, error) {
+	res, err := grouping.Construct(d.Matrix, grouping.Config{
+		Groups: groups, Variant: grouping.VariantBawa, Seed: seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return successRatio(d.Matrix, res.Published, eps)
+}
+
+// Fig4a sweeps identity frequency at fixed ε = 0.8.
+func Fig4a(opts Options) (*Figure, error) {
+	m, samples, groupCounts := fig4Scale(opts.Quick)
+	freqPoints := []int{34, 67, 100, 134, 176, 234, 446}
+	if opts.Quick {
+		freqPoints = []int{10, 34, 67, 100}
+	}
+	const epsVal = 0.8
+
+	fig := &Figure{
+		ID:     "fig4a",
+		Title:  "Success ratio vs identity frequency (ε=0.8)",
+		XLabel: "identity-frequency",
+		YLabel: "success ratio",
+	}
+	nonGroupers := []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"Nongrouping-IncExp-0.01", core.Config{Policy: mathx.PolicyIncremented, Delta: 0.01, Mode: core.ModeTrusted}},
+		{"Nongrouping-Chernoff-0.9", core.Config{Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted}},
+	}
+	series := make([]Series, 0, len(nonGroupers)+len(groupCounts))
+	for _, ng := range nonGroupers {
+		series = append(series, Series{Label: ng.label})
+	}
+	for _, g := range groupCounts {
+		series = append(series, Series{Label: fmt.Sprintf("Grouping-%d", g)})
+	}
+
+	for _, freq := range freqPoints {
+		d, err := workload.GenerateFixed(workload.FixedConfig{
+			Providers:   m,
+			Frequencies: repeatInt(freq, samples),
+			Eps:         epsSlice(samples, epsVal),
+			Seed:        opts.Seed + int64(freq),
+		})
+		if err != nil {
+			return nil, err
+		}
+		si := 0
+		for _, ng := range nonGroupers {
+			cfg := ng.cfg
+			cfg.Seed = opts.Seed + int64(freq)*31
+			y, err := nonGroupingSuccess(d, d.Eps, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s at freq %d: %w", ng.label, freq, err)
+			}
+			series[si].Points = append(series[si].Points, Point{X: float64(freq), Y: y})
+			si++
+		}
+		for _, g := range groupCounts {
+			y, err := groupingSuccess(d, d.Eps, g, opts.Seed+int64(freq)*37)
+			if err != nil {
+				return nil, fmt.Errorf("grouping-%d at freq %d: %w", g, freq, err)
+			}
+			series[si].Points = append(series[si].Points, Point{X: float64(freq), Y: y})
+			si++
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}
+
+// Fig4b sweeps ε at a fixed moderate identity frequency (100 providers, the
+// middle of Fig4a's range).
+func Fig4b(opts Options) (*Figure, error) {
+	m, samples, groupCounts := fig4Scale(opts.Quick)
+	epsPoints := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	freq := 100
+	if opts.Quick {
+		freq = 30
+	}
+
+	fig := &Figure{
+		ID:     "fig4b",
+		Title:  fmt.Sprintf("Success ratio vs ε (identity frequency %d)", freq),
+		XLabel: "epsilon",
+		YLabel: "success ratio",
+	}
+	nonGroupers := []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"Nongrouping-IncExp-0.01", core.Config{Policy: mathx.PolicyIncremented, Delta: 0.01, Mode: core.ModeTrusted}},
+		{"Nongrouping-Chernoff-0.9", core.Config{Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted}},
+	}
+	series := make([]Series, 0, len(nonGroupers)+len(groupCounts))
+	for _, ng := range nonGroupers {
+		series = append(series, Series{Label: ng.label})
+	}
+	for _, g := range groupCounts {
+		series = append(series, Series{Label: fmt.Sprintf("Grouping-%d", g)})
+	}
+
+	for pi, epsVal := range epsPoints {
+		d, err := workload.GenerateFixed(workload.FixedConfig{
+			Providers:   m,
+			Frequencies: repeatInt(freq, samples),
+			Eps:         epsSlice(samples, epsVal),
+			Seed:        opts.Seed + int64(pi),
+		})
+		if err != nil {
+			return nil, err
+		}
+		si := 0
+		for _, ng := range nonGroupers {
+			cfg := ng.cfg
+			cfg.Seed = opts.Seed + int64(pi)*41
+			y, err := nonGroupingSuccess(d, d.Eps, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s at ε=%v: %w", ng.label, epsVal, err)
+			}
+			series[si].Points = append(series[si].Points, Point{X: epsVal, Y: y})
+			si++
+		}
+		for _, g := range groupCounts {
+			y, err := groupingSuccess(d, d.Eps, g, opts.Seed+int64(pi)*43)
+			if err != nil {
+				return nil, fmt.Errorf("grouping-%d at ε=%v: %w", g, epsVal, err)
+			}
+			series[si].Points = append(series[si].Points, Point{X: epsVal, Y: y})
+			si++
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}
+
+func repeatInt(v, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/workload"
+)
+
+// Figure 5 compares the three β-calculation policies. Settings per the
+// paper: Δ=0.02 (incremented expectation), γ=0.9 (Chernoff), ε=0.5.
+// pp is measured as the fraction of trials in which a single identity's
+// achieved false-positive rate reaches ε.
+
+var fig5Policies = []struct {
+	label string
+	cfg   core.Config
+}{
+	{"basic", core.Config{Policy: mathx.PolicyBasic, Mode: core.ModeTrusted}},
+	{"inc-exp", core.Config{Policy: mathx.PolicyIncremented, Delta: 0.02, Mode: core.ModeTrusted}},
+	{"chernoff", core.Config{Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted}},
+}
+
+// policySuccess measures pp over `trials` runs for identities of the given
+// absolute frequency in an m-provider network.
+func policySuccess(cfg core.Config, m, freq, trials int, epsVal float64, seed int64) (float64, error) {
+	// Batch the trials as independent identity columns of one matrix: the
+	// per-column publication processes are independent, so one construction
+	// with `trials` columns is statistically identical to `trials`
+	// constructions with one column, and far faster.
+	d, err := workload.GenerateFixed(workload.FixedConfig{
+		Providers:   m,
+		Frequencies: repeatInt(freq, trials),
+		Eps:         epsSlice(trials, epsVal),
+		Seed:        seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	cfg.Seed = seed + 1
+	res, err := core.Construct(d.Matrix, d.Eps, cfg)
+	if err != nil {
+		return 0, err
+	}
+	ok := 0
+	for j := 0; j < trials; j++ {
+		fp, err := bitmat.ColFalsePositiveRate(d.Matrix, res.Published, j)
+		if err != nil {
+			return 0, err
+		}
+		if fp >= epsVal {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials), nil
+}
+
+// Fig5a sweeps identity frequency at m=10,000 providers (ε=0.5).
+func Fig5a(opts Options) (*Figure, error) {
+	m, trials := 10000, 100
+	freqPoints := []int{8, 50, 100, 200, 350, 500}
+	if opts.Quick {
+		m, trials = 1000, 40
+		freqPoints = []int{8, 20, 50}
+	}
+	const epsVal = 0.5
+
+	fig := &Figure{
+		ID:     "fig5a",
+		Title:  fmt.Sprintf("β-policy success ratio vs identity frequency (m=%d, ε=%.1f)", m, epsVal),
+		XLabel: "identity-frequency",
+		YLabel: "success rate pp",
+	}
+	for _, pol := range fig5Policies {
+		s := Series{Label: pol.label}
+		for _, freq := range freqPoints {
+			y, err := policySuccess(pol.cfg, m, freq, trials, epsVal, opts.Seed+int64(freq))
+			if err != nil {
+				return nil, fmt.Errorf("%s at freq %d: %w", pol.label, freq, err)
+			}
+			s.Points = append(s.Points, Point{X: float64(freq), Y: y})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig5b sweeps the provider count at relative identity frequency 0.1
+// (ε=0.5).
+func Fig5b(opts Options) (*Figure, error) {
+	trials := 100
+	providerPoints := []int{8, 32, 128, 512, 2048, 8192}
+	if opts.Quick {
+		trials = 40
+		providerPoints = []int{8, 32, 128, 512}
+	}
+	const (
+		epsVal  = 0.5
+		relFreq = 0.1
+	)
+
+	fig := &Figure{
+		ID:     "fig5b",
+		Title:  "β-policy success ratio vs provider count (frequency 0.1·m, ε=0.5)",
+		XLabel: "providers",
+		YLabel: "success rate pp",
+	}
+	for _, pol := range fig5Policies {
+		s := Series{Label: pol.label}
+		for _, m := range providerPoints {
+			freq := int(relFreq * float64(m))
+			if freq < 1 {
+				freq = 1
+			}
+			y, err := policySuccess(pol.cfg, m, freq, trials, epsVal, opts.Seed+int64(m))
+			if err != nil {
+				return nil, fmt.Errorf("%s at m=%d: %w", pol.label, m, err)
+			}
+			s.Points = append(s.Points, Point{X: float64(m), Y: y})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

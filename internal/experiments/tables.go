@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/grouping"
+	"repro/internal/index"
+	"repro/internal/mathx"
+	"repro/internal/workload"
+)
+
+// Table2 reproduces the paper's Table II: the privacy degree each system
+// achieves under the primary attack and the common-identity attack.
+//
+// Both attacks are mounted against several independently constructed
+// indexes and the attacker confidence is averaged — the guarantees under
+// test are statistical, so single-run binomial noise must not drive the
+// classification. Two measurement conventions, both documented in
+// EXPERIMENTS.md:
+//
+//   - True common identities (σ = 1-ish) are excluded from the *primary*
+//     classification: with no negative providers the fp-based Equation 1 is
+//     vacuous for them, and the paper defends them with identity mixing —
+//     which the common-identity column evaluates.
+//   - ε-PPI runs with XiOverride = 0.8 so the common-attack bound under
+//     test (confidence ≤ 1 − ξ = 0.2) is explicit.
+func Table2(opts Options) (*TableResult, error) {
+	m, n, repeats := 2000, 200, 10
+	if opts.Quick {
+		m, n, repeats = 400, 100, 6
+	}
+	const xi = 0.8
+	// Workload: a handful of deliberate common identities (records at every
+	// provider — the paper's "visited a large number of hospitals" victims)
+	// plus a Zipf tail capped well below the common thresholds. Planting
+	// the commons keeps the common set a small, known fraction of n, so
+	// the ξ = 0.8 mixing target is feasible and the attack statistics are
+	// stable.
+	commonsPlanted := n / 40
+	if commonsPlanted < 3 {
+		commonsPlanted = 3
+	}
+	d, err := workload.GenerateZipf(workload.ZipfConfig{
+		Providers:    m,
+		Owners:       n,
+		Exponent:     1.2,
+		MaxFrequency: m / 25,
+		Seed:         opts.Seed,
+		EpsLow:       0.3,
+		EpsHigh:      0.9,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < commonsPlanted; j++ {
+		for i := 0; i < m; i++ {
+			d.Matrix.Set(i, j, true)
+		}
+	}
+
+	table := &TableResult{
+		ID:     "table2",
+		Title:  "Privacy degrees under the two attacks (confidence averaged over constructions)",
+		Header: []string{"system", "primary-conf(worst)", "primary-degree", "common-conf", "common-degree"},
+	}
+
+	// Ground truth commons per the ε-PPI threshold definition (needed to
+	// score the common-identity attack for every system consistently).
+	epCfg := core.Config{Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted, XiOverride: xi}
+	isCommon := make([]bool, n)
+	commons := 0
+	for j := 0; j < n; j++ {
+		if uint64(d.Matrix.ColCount(j)) >= epCfg.Threshold(d.Eps[j], m) {
+			isCommon[j] = true
+			commons++
+		}
+	}
+	if commons == 0 {
+		return nil, fmt.Errorf("table2: workload produced no common identities; increase skew")
+	}
+	minCommonFreq := uint64(m)
+	for j := 0; j < n; j++ {
+		if isCommon[j] && uint64(d.Matrix.ColCount(j)) < minCommonFreq {
+			minCommonFreq = uint64(d.Matrix.ColCount(j))
+		}
+	}
+
+	// observe constructs one index (per repeat) and reports what the
+	// attacker can see.
+	type observation struct {
+		published *bitmat.Matrix
+		signal    []uint64
+		threshold uint64
+		xi        float64
+		leakExact bool // frequencies leaked by design (SS-PPI), not inferred
+	}
+	addRow := func(system string, observe func(rep int) (*observation, error)) error {
+		sumConf := make([]float64, n)
+		var pickedTotal, trueTotal int
+		var xiTarget float64
+		leakExact := false
+		for rep := 0; rep < repeats; rep++ {
+			obs, err := observe(rep)
+			if err != nil {
+				return fmt.Errorf("%s repeat %d: %w", system, rep, err)
+			}
+			xiTarget = obs.xi
+			leakExact = obs.leakExact
+			for j := 0; j < n; j++ {
+				c, err := attack.PrimaryConfidence(d.Matrix, obs.published, j)
+				if err != nil {
+					return err
+				}
+				sumConf[j] += c
+			}
+			commonRes, err := attack.CommonIdentityAttack(obs.signal, obs.threshold, isCommon)
+			if err != nil {
+				return err
+			}
+			pickedTotal += len(commonRes.Picked)
+			trueTotal += commonRes.TrueCommons
+		}
+		anyPicked := pickedTotal > 0
+		// Average per-identity primary confidence, excluding true commons.
+		avgConf := make([]float64, 0, n)
+		avgEps := make([]float64, 0, n)
+		worst := 0.0 // worst guarantee excess carrier
+		worstConf := 0.0
+		for j := 0; j < n; j++ {
+			if isCommon[j] {
+				continue
+			}
+			c := sumConf[j] / float64(repeats)
+			avgConf = append(avgConf, c)
+			avgEps = append(avgEps, d.Eps[j])
+			if excess := c - (1 - d.Eps[j]); excess > worst {
+				worst = excess
+				worstConf = c
+			}
+		}
+		primaryDegree, err := attack.ClassifyPrimary(avgConf, avgEps, 0.05)
+		if err != nil {
+			return err
+		}
+		// Pooled confidence over all repeats: the ratio of successful to
+		// attempted claims (the mean of per-run ratios would be biased
+		// upward by Jensen's inequality on small published-common sets).
+		commonConf := 0.0
+		if pickedTotal > 0 {
+			commonConf = float64(trueTotal) / float64(pickedTotal)
+		}
+		var commonDegree attack.Degree
+		switch {
+		case !anyPicked:
+			commonDegree = attack.DegreeEpsilonPrivate // nothing identifiable
+		case commonConf >= 1-1e-9 && leakExact:
+			// Certain by construction: the system hands the attacker exact
+			// frequencies (SS-PPI) — NO PROTECT on every dataset.
+			commonDegree = attack.DegreeNoProtect
+		case xiTarget > 0 && commonConf <= commonBound(xiTarget, commons, n)*1.25+1e-9:
+			commonDegree = attack.DegreeEpsilonPrivate
+		default:
+			// Includes empirically-certain attacks on systems whose leak is
+			// data-dependent (grouping): some datasets expose commons fully,
+			// others do not — the paper's NO GUARANTEE.
+			commonDegree = attack.DegreeNoGuarantee
+		}
+		table.Rows = append(table.Rows, []string{
+			system,
+			fmt.Sprintf("%.3f", worstConf),
+			primaryDegree.String(),
+			fmt.Sprintf("%.3f", commonConf),
+			commonDegree.String(),
+		})
+		return nil
+	}
+
+	// Small groups (size 4, the paper's 2,500-group configuration scaled to
+	// m) make the grouping baselines' weakness reproducible: rare
+	// identities are diluted by only 3 noise providers, so high-ε owners
+	// are left unprotected.
+	groups := m / 4
+	// Grouping PPI [12], [13]: the attacker reads the group-level index —
+	// how many groups report each identity — and accuses the identities
+	// with the maximal coverage (the paper's Appendix B scenario: the only
+	// term reported "everywhere" is the true common one).
+	if err := addRow("PPI (grouping)", func(rep int) (*observation, error) {
+		gr, err := grouping.Construct(d.Matrix, grouping.Config{
+			Groups: groups, Variant: grouping.VariantBawa, Seed: opts.Seed + int64(rep)*101,
+		})
+		if err != nil {
+			return nil, err
+		}
+		signal := make([]uint64, n)
+		var maxSignal uint64
+		for j := 0; j < n; j++ {
+			signal[j] = uint64(gr.GroupsReporting(j))
+			if signal[j] > maxSignal {
+				maxSignal = signal[j]
+			}
+		}
+		return &observation{
+			published: gr.Published,
+			signal:    signal,
+			threshold: maxSignal,
+		}, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// SS-PPI [22]: grouping plus the construction-time frequency leak; the
+	// attacker thresholds the exact leaked frequencies.
+	if err := addRow("SS-PPI", func(rep int) (*observation, error) {
+		ss, err := grouping.Construct(d.Matrix, grouping.Config{
+			Groups: groups, Variant: grouping.VariantSSPPI, Seed: opts.Seed + int64(rep)*103,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &observation{
+			published: ss.Published,
+			signal:    ss.LeakedFrequencies,
+			threshold: minCommonFreq,
+			leakExact: true,
+		}, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// ε-PPI: the attacker reads published frequencies; hidden identities
+	// appear everywhere, indistinguishably mixing true and false commons.
+	if err := addRow("ε-PPI", func(rep int) (*observation, error) {
+		cfg := epCfg
+		cfg.Seed = opts.Seed + int64(rep)*107
+		ep, err := core.Construct(d.Matrix, d.Eps, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &observation{
+			published: ep.Published,
+			signal:    attack.PublishedFrequencies(ep.Published),
+			threshold: uint64(m),
+			xi:        ep.Xi,
+		}, nil
+	}); err != nil {
+		return nil, err
+	}
+	return table, nil
+}
+
+// commonBound is the achievable attacker-confidence bound for the
+// common-identity attack: 1−ξ when feasible, else the broadcast floor
+// C/n (with C true commons among n identities there can never be more
+// than n−C impostors).
+func commonBound(xi float64, commons, n int) float64 {
+	bound := 1 - xi
+	if floor := float64(commons) / float64(n); floor > bound {
+		return floor
+	}
+	return bound
+}
+
+// SearchCost reports the query-time overhead that privacy noise imposes:
+// the average number of providers a searcher must contact per query, for
+// ε-PPI at several ε levels and for grouping PPIs at several group counts
+// (the paper's Section V-A2 search-overhead discussion).
+func SearchCost(opts Options) (*TableResult, error) {
+	m, n := 2000, 100
+	if opts.Quick {
+		m, n = 400, 40
+	}
+	d, err := workload.GenerateZipf(workload.ZipfConfig{
+		Providers: m, Owners: n, Exponent: 1.1, MaxFrequency: m / 10, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	table := &TableResult{
+		ID:     "searchcost",
+		Title:  fmt.Sprintf("Average providers contacted per query (m=%d, n=%d)", m, n),
+		Header: []string{"system", "avg-contacted", "true-avg", "overhead-factor"},
+	}
+	trueAvg := float64(d.Matrix.Count()) / float64(n)
+
+	addSystem := func(label string, published *index.Server) {
+		avg := float64(published.SearchCost()) / float64(n)
+		table.Rows = append(table.Rows, []string{
+			label,
+			fmt.Sprintf("%.1f", avg),
+			fmt.Sprintf("%.1f", trueAvg),
+			fmt.Sprintf("%.2f", avg/trueAvg),
+		})
+	}
+
+	for _, epsVal := range []float64{0.2, 0.5, 0.8} {
+		res, err := core.Construct(d.Matrix, epsSlice(n, epsVal), core.Config{
+			Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted, Seed: opts.Seed + int64(epsVal*100),
+		})
+		if err != nil {
+			return nil, err
+		}
+		srv, err := index.NewServer(res.Published, d.Names)
+		if err != nil {
+			return nil, err
+		}
+		addSystem(fmt.Sprintf("ε-PPI (ε=%.1f)", epsVal), srv)
+	}
+	for _, groups := range []int{m / 100, m / 20, m / 4} {
+		res, err := grouping.Construct(d.Matrix, grouping.Config{Groups: groups, Variant: grouping.VariantBawa, Seed: opts.Seed + int64(groups)})
+		if err != nil {
+			return nil, err
+		}
+		srv, err := index.NewServer(res.Published, d.Names)
+		if err != nil {
+			return nil, err
+		}
+		addSystem(fmt.Sprintf("grouping (%d groups)", groups), srv)
+	}
+	return table, nil
+}

@@ -1,0 +1,90 @@
+package gmw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Dealer-output statistics: any single party's triple shares must be
+// marginally uniform (else the dealer itself would leak the triple values
+// to individual parties).
+func TestTripleSharesMarginallyUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const count = 20000
+	triples, err := GenTriples(rng, 3, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		for name, stream := range map[string][]byte{
+			"A": triples[p].A, "B": triples[p].B, "C": triples[p].C,
+		} {
+			ones := 0
+			for _, b := range stream {
+				ones += int(b)
+			}
+			rate := float64(ones) / count
+			if math.Abs(rate-0.5) > 0.02 {
+				t.Errorf("party %d stream %s: ones rate %v, want ≈ 0.5", p, name, rate)
+			}
+		}
+	}
+}
+
+// The reconstructed a and b streams themselves must be unbiased coins, and
+// c must equal a∧b exactly (already covered) with P(c=1) ≈ 0.25.
+func TestTripleJointDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const count = 20000
+	triples, err := GenTriples(rng, 4, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aOnes, bOnes, cOnes int
+	for i := 0; i < count; i++ {
+		var a, b, c byte
+		for p := 0; p < 4; p++ {
+			a ^= triples[p].A[i]
+			b ^= triples[p].B[i]
+			c ^= triples[p].C[i]
+		}
+		aOnes += int(a)
+		bOnes += int(b)
+		cOnes += int(c)
+	}
+	if r := float64(aOnes) / count; math.Abs(r-0.5) > 0.02 {
+		t.Errorf("a rate %v", r)
+	}
+	if r := float64(bOnes) / count; math.Abs(r-0.5) > 0.02 {
+		t.Errorf("b rate %v", r)
+	}
+	if r := float64(cOnes) / count; math.Abs(r-0.25) > 0.02 {
+		t.Errorf("c rate %v, want ≈ 0.25", r)
+	}
+}
+
+// A single party's view of (A, B, C) must not predict the real (a, b):
+// correlation between a party's share and the reconstructed secret is ~0.
+func TestShareUncorrelatedWithSecret(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const count = 20000
+	triples, err := GenTriples(rng, 3, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i := 0; i < count; i++ {
+		var a byte
+		for p := 0; p < 3; p++ {
+			a ^= triples[p].A[i]
+		}
+		if triples[0].A[i] == a {
+			agree++
+		}
+	}
+	rate := float64(agree) / count
+	if math.Abs(rate-0.5) > 0.02 {
+		t.Fatalf("party 0's A share agrees with secret at rate %v, want ≈ 0.5", rate)
+	}
+}

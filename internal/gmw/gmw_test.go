@@ -1,0 +1,458 @@
+package gmw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/transport"
+)
+
+func runInMem(t testing.TB, parties int, circ *circuit.Circuit, inputs [][]bool, seed int64) *Result {
+	t.Helper()
+	net, err := transport.NewInMem(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	res, err := Run(net, circ, inputs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGenTriplesInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, parties := range []int{2, 3, 7} {
+		triples, err := GenTriples(rng, parties, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(triples) != parties {
+			t.Fatalf("got %d party slices", len(triples))
+		}
+		for tt := 0; tt < 100; tt++ {
+			var a, b, c byte
+			for p := 0; p < parties; p++ {
+				a ^= triples[p].A[tt]
+				b ^= triples[p].B[tt]
+				c ^= triples[p].C[tt]
+			}
+			if a&b != c {
+				t.Fatalf("parties=%d triple %d: a=%d b=%d c=%d", parties, tt, a, b, c)
+			}
+		}
+	}
+}
+
+func TestGenTriplesValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := GenTriples(rng, 1, 5); err == nil {
+		t.Error("parties=1 accepted")
+	}
+	if _, err := GenTriples(rng, 3, -1); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+// Two-party AND truth table, the smallest secure computation.
+func TestTwoPartyAND(t *testing.T) {
+	b := circuit.NewBuilder()
+	x := b.Input(0)
+	y := b.Input(1)
+	if err := b.Output(b.AND(x, y)); err != nil {
+		t.Fatal(err)
+	}
+	circ, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ x, y, want bool }{
+		{false, false, false}, {false, true, false}, {true, false, false}, {true, true, true},
+	} {
+		res := runInMem(t, 2, circ, [][]bool{{tc.x}, {tc.y}}, 3)
+		if res.Outputs[0] != tc.want {
+			t.Fatalf("AND(%v,%v) = %v", tc.x, tc.y, res.Outputs[0])
+		}
+	}
+}
+
+// Secure evaluation must equal plaintext evaluation on a deep mixed circuit.
+func TestSecureMatchesPlaintext(t *testing.T) {
+	const width = 6
+	b := circuit.NewBuilder()
+	x := b.InputVec(0, width)
+	y := b.InputVec(1, width)
+	z := b.InputVec(2, width)
+	sum, err := b.Add(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err = b.Add(sum, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge, err := b.GreaterEq(sum, circuit.ConstVec(17, width))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := b.Equal(x, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Output(ge); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Output(eq); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range sum {
+		if err := b.Output(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	circ, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		vx := rng.Uint64() % 64
+		vy := rng.Uint64() % 64
+		vz := rng.Uint64() % 64
+		inputs := [][]bool{
+			circuit.PackBits(vx, width),
+			circuit.PackBits(vy, width),
+			circuit.PackBits(vz, width),
+		}
+		var flat []bool
+		for _, in := range inputs {
+			flat = append(flat, in...)
+		}
+		want, err := circ.Evaluate(flat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runInMem(t, 3, circ, inputs, int64(trial))
+		for i := range want {
+			if res.Outputs[i] != want[i] {
+				t.Fatalf("trial %d output %d: secure=%v plain=%v (x=%d y=%d z=%d)",
+					trial, i, res.Outputs[i], want[i], vx, vy, vz)
+			}
+		}
+		if res.Rounds != 2+len(circ.AndRounds()) {
+			t.Fatalf("Rounds = %d, want %d", res.Rounds, 2+len(circ.AndRounds()))
+		}
+	}
+}
+
+// Property: random circuits over random inputs — secure == plaintext.
+func TestSecureMatchesPlaintextQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		parties := 2 + rng.Intn(3)
+		b := circuit.NewBuilder()
+		// Random DAG of gates over a pool of wires.
+		pool := make([]circuit.Wire, 0, 40)
+		for p := 0; p < parties; p++ {
+			pool = append(pool, b.InputVec(p, 2+rng.Intn(3))...)
+		}
+		nIn := len(pool)
+		for g := 0; g < 25; g++ {
+			a := pool[rng.Intn(len(pool))]
+			c := pool[rng.Intn(len(pool))]
+			var w circuit.Wire
+			switch rng.Intn(4) {
+			case 0:
+				w = b.XOR(a, c)
+			case 1:
+				w = b.AND(a, c)
+			case 2:
+				w = b.NOT(a)
+			default:
+				w = b.OR(a, c)
+			}
+			if !w.IsConst() {
+				pool = append(pool, w)
+			}
+		}
+		outs := 0
+		for i := len(pool) - 1; i >= 0 && outs < 5; i-- {
+			if err := b.Output(pool[i]); err == nil {
+				outs++
+			}
+		}
+		circ, err := b.Build()
+		if err != nil {
+			return false
+		}
+		inputs := make([][]bool, parties)
+		var flat []bool
+		for idx, in := range circ.Inputs() {
+			v := rng.Intn(2) == 1
+			inputs[in.Party] = append(inputs[in.Party], v)
+			_ = idx
+			flat = append(flat, v)
+		}
+		if len(flat) != nIn {
+			return false
+		}
+		want, err := circ.Evaluate(flat)
+		if err != nil {
+			return false
+		}
+		net, err := transport.NewInMem(parties)
+		if err != nil {
+			return false
+		}
+		defer net.Close()
+		res, err := Run(net, circ, inputs, seed)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if res.Outputs[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// End-to-end: CountBelow circuit evaluated securely by 3 coordinators.
+func TestSecureCountBelow(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := circuit.CountBelowParams{
+		Parties:    3,
+		Identities: 8,
+		ShareBits:  7,
+		Thresholds: []uint64{3, 10, 50, 1, 7, 20, 64, 2},
+	}
+	circ, err := circuit.CountBelow(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := uint64(1) << uint(p.ShareBits)
+	freqs := make([]uint64, p.Identities)
+	shares := make([][]uint64, p.Parties)
+	for k := range shares {
+		shares[k] = make([]uint64, p.Identities)
+	}
+	want := uint64(0)
+	for j := range freqs {
+		freqs[j] = uint64(rng.Intn(100))
+		if freqs[j] >= p.Thresholds[j] {
+			want++
+		}
+		var sum uint64
+		for k := 0; k < p.Parties-1; k++ {
+			shares[k][j] = rng.Uint64() % mod
+			sum = (sum + shares[k][j]) % mod
+		}
+		shares[p.Parties-1][j] = (freqs[j] + mod - sum) % mod
+	}
+	inputs := make([][]bool, p.Parties)
+	for k := 0; k < p.Parties; k++ {
+		for j := 0; j < p.Identities; j++ {
+			inputs[k] = append(inputs[k], circuit.PackBits(shares[k][j], p.ShareBits)...)
+		}
+	}
+	res := runInMem(t, 3, circ, inputs, 6)
+	if got := circuit.UnpackBits(res.Outputs); got != want {
+		t.Fatalf("secure CountBelow = %d, want %d", got, want)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	b := circuit.NewBuilder()
+	x := b.Input(0)
+	y := b.Input(1)
+	if err := b.Output(b.AND(x, y)); err != nil {
+		t.Fatal(err)
+	}
+	circ, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := transport.NewInMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if _, err := Run(net, circ, [][]bool{{true}}, 1); err == nil {
+		t.Error("wrong party count accepted")
+	}
+	if _, err := Run(net, circ, [][]bool{{true, false}, {true}}, 1); err == nil {
+		t.Error("wrong per-party bit count accepted")
+	}
+	// Circuit owned by party 2 in a 2-party network.
+	b2 := circuit.NewBuilder()
+	x2 := b2.Input(2)
+	if err := b2.Output(b2.NOT(x2)); err != nil {
+		t.Fatal(err)
+	}
+	circ2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(net, circ2, [][]bool{nil, nil}, 1); err == nil {
+		t.Error("out-of-range input owner accepted")
+	}
+}
+
+// A wide network: 15 parties evaluating a shared comparison. Exercises the
+// all-to-all AND openings at a scale beyond the coordinator counts used in
+// the pipeline.
+func TestFifteenParties(t *testing.T) {
+	const parties = 15
+	b := circuit.NewBuilder()
+	bits := make([]circuit.Wire, parties)
+	for p := 0; p < parties; p++ {
+		bits[p] = b.Input(p)
+	}
+	cnt, err := b.PopCount(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge, err := b.GreaterEq(cnt, circuit.ConstVec(8, len(cnt)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Output(ge); err != nil {
+		t.Fatal(err)
+	}
+	circ, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 5; trial++ {
+		inputs := make([][]bool, parties)
+		ones := 0
+		for p := range inputs {
+			v := rng.Intn(2) == 1
+			inputs[p] = []bool{v}
+			if v {
+				ones++
+			}
+		}
+		res := runInMem(t, parties, circ, inputs, int64(trial))
+		if res.Outputs[0] != (ones >= 8) {
+			t.Fatalf("trial %d: majority-ish vote wrong (ones=%d)", trial, ones)
+		}
+	}
+}
+
+// A party with no inputs must still participate correctly.
+func TestPartyWithoutInputs(t *testing.T) {
+	b := circuit.NewBuilder()
+	x := b.Input(0)
+	y := b.Input(0)
+	if err := b.Output(b.AND(x, y)); err != nil {
+		t.Fatal(err)
+	}
+	circ, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runInMem(t, 3, circ, [][]bool{{true, true}, nil, nil}, 7)
+	if !res.Outputs[0] {
+		t.Fatal("AND(true,true) = false")
+	}
+}
+
+// The protocol must run identically over TCP.
+func TestSecureOverTCP(t *testing.T) {
+	const width = 4
+	b := circuit.NewBuilder()
+	x := b.InputVec(0, width)
+	y := b.InputVec(1, width)
+	sum, err := b.Add(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range sum {
+		if err := b.Output(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	circ, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := transport.NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	res, err := Run(net, circ, [][]bool{circuit.PackBits(9, width), circuit.PackBits(5, width)}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := circuit.UnpackBits(res.Outputs); got != 14 {
+		t.Fatalf("9+5 = %d over TCP", got)
+	}
+}
+
+func TestPackUnpackBits(t *testing.T) {
+	bits := make([]byte, 130)
+	rng := rand.New(rand.NewSource(9))
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	words := packBits(bits)
+	if len(words) != 3 {
+		t.Fatalf("words = %d", len(words))
+	}
+	got := unpackBits(words, len(bits))
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+	if unpackBits(words[:1], 130) != nil {
+		t.Fatal("short words accepted")
+	}
+	if got := unpackBits(nil, 0); len(got) != 0 {
+		t.Fatal("empty unpack")
+	}
+}
+
+func BenchmarkSecureAdd32(b *testing.B) {
+	const width = 32
+	bld := circuit.NewBuilder()
+	x := bld.InputVec(0, width)
+	y := bld.InputVec(1, width)
+	sum, err := bld.Add(x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range sum {
+		if err := bld.Output(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	circ, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := [][]bool{circuit.PackBits(123456, width), circuit.PackBits(654321, width)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := transport.NewInMem(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Run(net, circ, inputs, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		net.Close()
+	}
+}

@@ -1,0 +1,147 @@
+package gmw
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/ot"
+	"repro/internal/transport"
+)
+
+// OT-based Beaver-triple preprocessing: replaces the trusted dealer with
+// the standard pairwise-OT construction. For triple t each party p samples
+// private bits a_p, b_p; the triple secret is
+//
+//	c = (⊕_p a_p)(⊕_q b_q) = ⊕_p a_p·b_p ⊕ ⊕_{p≠q} a_p·b_q ,
+//
+// and every cross term a_p·b_q is turned into XOR shares between p and q
+// by one 1-out-of-2 OT: the sender p offers (x, x⊕a_p), the receiver q
+// selects with b_q and learns x⊕(a_p·b_q); x stays with p. Each party's
+// C share is its own a_p·b_p XOR all masks it sent XOR all messages it
+// received. Security is semi-honest, inherited from the OT.
+//
+// Cost: n(n−1) OTs per triple with 2048-bit exponentiations each — orders
+// of magnitude slower than the dealer, which is why the dealer remains the
+// default for simulation and OT preprocessing is an explicit opt-in
+// (core.TripleOT / eppi.WithOTPreprocessing).
+
+// GenTriplesOT runs the pairwise-OT preprocessing among all parties of
+// net and returns each party's triple shares. seed derives each party's
+// local randomness deterministically (use distinct seeds per run).
+func GenTriplesOT(net transport.Network, count int, seed int64) ([]PartyTriples, error) {
+	n := net.Size()
+	if n < 2 {
+		return nil, fmt.Errorf("gmw: OT preprocessing needs >= 2 parties, got %d", n)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("gmw: negative triple count %d", count)
+	}
+	group := ot.DefaultGroup()
+	out := make([]PartyTriples, n)
+	errs := make([]error, n)
+	var failOnce sync.Once
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed ^ int64(p+1)*6700417))
+			triples, err := otPartyRun(group, net.Node(p), count, rng)
+			if err != nil {
+				errs[p] = fmt.Errorf("party %d: %w", p, err)
+				failOnce.Do(func() { net.Close() })
+				return
+			}
+			out[p] = triples
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// otPartyRun executes one party's role in the preprocessing.
+func otPartyRun(group ot.Group, node transport.Node, count int, rng *rand.Rand) (PartyTriples, error) {
+	n := node.Size()
+	id := node.ID()
+	pt := PartyTriples{
+		A: make([]byte, count),
+		B: make([]byte, count),
+		C: make([]byte, count),
+	}
+	for t := 0; t < count; t++ {
+		pt.A[t] = byte(rng.Intn(2))
+		pt.B[t] = byte(rng.Intn(2))
+		pt.C[t] = pt.A[t] & pt.B[t]
+	}
+	if count == 0 {
+		return pt, nil
+	}
+	coll := transport.NewCollector(node)
+
+	// sendSession: we are the sender of session (id → peer), offering
+	// (x_t, x_t ⊕ a_t); our C share absorbs the masks.
+	sendSession := func(peer int) error {
+		pairs := make([][2][]byte, count)
+		for t := 0; t < count; t++ {
+			x := byte(rng.Intn(2))
+			pairs[t] = [2][]byte{{x}, {x ^ pt.A[t]}}
+			pt.C[t] ^= x
+		}
+		seq := uint32(id*n + peer)
+		if err := ot.SendBatch(group, coll, peer, pairs, rng, seq); err != nil {
+			return fmt.Errorf("OT send to %d: %w", peer, err)
+		}
+		return nil
+	}
+	// recvSession: we are the receiver of session (peer → id), selecting
+	// with b_t; our C share absorbs the received x ⊕ a_peer·b.
+	recvSession := func(peer int) error {
+		seq := uint32(peer*n + id)
+		got, err := ot.ReceiveBatch(group, coll, peer, pt.B[:count:count], rng, seq)
+		if err != nil {
+			return fmt.Errorf("OT recv from %d: %w", peer, err)
+		}
+		for t := 0; t < count; t++ {
+			pt.C[t] ^= got[t][0] & 1
+		}
+		return nil
+	}
+
+	// Pairwise sessions in deadlock-free order: within each pair the
+	// lower id sends first; peers are processed in increasing id order.
+	for peer := 0; peer < n; peer++ {
+		if peer == id {
+			continue
+		}
+		if id < peer {
+			if err := sendSession(peer); err != nil {
+				return PartyTriples{}, err
+			}
+			if err := recvSession(peer); err != nil {
+				return PartyTriples{}, err
+			}
+		} else {
+			if err := recvSession(peer); err != nil {
+				return PartyTriples{}, err
+			}
+			if err := sendSession(peer); err != nil {
+				return PartyTriples{}, err
+			}
+		}
+	}
+	return pt, nil
+}
+
+// RunWithTriples evaluates circ like Run but with caller-provided triples
+// (e.g. from GenTriplesOT). triples[p] must hold at least the circuit's
+// AND-gate count for every party p.
+func RunWithTriples(net transport.Network, circ *circuit.Circuit, inputs [][]bool, triples []PartyTriples, seed int64) (*Result, error) {
+	return runCommon(net, circ, inputs, triples, seed)
+}

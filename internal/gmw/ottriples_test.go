@@ -1,0 +1,167 @@
+package gmw
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/transport"
+)
+
+func genOTTriples(t *testing.T, parties, count int, seed int64) []PartyTriples {
+	t.Helper()
+	net, err := transport.NewInMem(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	triples, err := GenTriplesOT(net, count, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return triples
+}
+
+// The OT-generated triples must satisfy the Beaver invariant exactly.
+func TestOTTriplesInvariant(t *testing.T) {
+	for _, parties := range []int{2, 3} {
+		const count = 8
+		triples := genOTTriples(t, parties, count, int64(parties)*100)
+		for tt := 0; tt < count; tt++ {
+			var a, b, c byte
+			for p := 0; p < parties; p++ {
+				a ^= triples[p].A[tt]
+				b ^= triples[p].B[tt]
+				c ^= triples[p].C[tt]
+			}
+			if a&b != c {
+				t.Fatalf("parties=%d triple %d: a=%d b=%d c=%d", parties, tt, a, b, c)
+			}
+		}
+	}
+}
+
+func TestOTTriplesValidation(t *testing.T) {
+	net, err := transport.NewInMem(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if _, err := GenTriplesOT(net, 4, 1); err == nil {
+		t.Error("single party accepted")
+	}
+	net2, err := transport.NewInMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net2.Close()
+	if _, err := GenTriplesOT(net2, -1, 1); err == nil {
+		t.Error("negative count accepted")
+	}
+	triples, err := GenTriplesOT(net2, 0, 1)
+	if err != nil || len(triples) != 2 {
+		t.Fatalf("zero-count preprocessing: %v, %d", err, len(triples))
+	}
+}
+
+// Full GMW evaluation with OT preprocessing end to end: secure result must
+// equal plaintext evaluation.
+func TestRunWithOTTriples(t *testing.T) {
+	const width = 3
+	b := circuit.NewBuilder()
+	x := b.InputVec(0, width)
+	y := b.InputVec(1, width)
+	sum, err := b.Add(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge, err := b.GreaterEq(sum, circuit.ConstVec(5, width))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Output(ge); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range sum {
+		if err := b.Output(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	circ, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Preprocess with OT on one network, evaluate on a fresh one (as a
+	// real offline/online split would).
+	preNet, err := transport.NewInMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triples, err := GenTriplesOT(preNet, circ.Stats().AndGates, 42)
+	preNet.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct{ vx, vy uint64 }{{3, 4}, {0, 0}, {7, 7}, {2, 2}} {
+		net, err := transport.NewInMem(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs := [][]bool{circuit.PackBits(tc.vx, width), circuit.PackBits(tc.vy, width)}
+		res, err := RunWithTriples(net, circ, inputs, triples, 7)
+		net.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSum := (tc.vx + tc.vy) % 8
+		if got := circuit.UnpackBits(res.Outputs[1:]); got != wantSum {
+			t.Fatalf("%d+%d = %d, want %d", tc.vx, tc.vy, got, wantSum)
+		}
+		if res.Outputs[0] != (wantSum >= 5) {
+			t.Fatalf("comparison wrong for %d+%d", tc.vx, tc.vy)
+		}
+	}
+}
+
+func TestRunWithTriplesValidation(t *testing.T) {
+	b := circuit.NewBuilder()
+	x := b.Input(0)
+	y := b.Input(1)
+	if err := b.Output(b.AND(x, y)); err != nil {
+		t.Fatal(err)
+	}
+	circ, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := transport.NewInMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	// Too few triple sets.
+	if _, err := RunWithTriples(net, circ, [][]bool{{true}, {true}}, []PartyTriples{{}}, 1); err == nil {
+		t.Error("short triple set list accepted")
+	}
+	// Triple sets shorter than the AND count.
+	empty := []PartyTriples{{}, {}}
+	if _, err := RunWithTriples(net, circ, [][]bool{{true}, {true}}, empty, 1); err == nil {
+		t.Error("insufficient triples accepted")
+	}
+}
+
+// OT-generated preprocessing must be as uniform as dealer output: a single
+// party's shares don't reveal the secrets.
+func TestOTTriplesShareUniformity(t *testing.T) {
+	const count = 64
+	triples := genOTTriples(t, 2, count, 9)
+	ones := 0
+	for _, v := range triples[0].C {
+		ones += int(v)
+	}
+	// With 64 samples this is a loose sanity check, not a sharp bound.
+	if ones == 0 || ones == count {
+		t.Fatalf("party 0's C shares are constant (%d ones of %d)", ones, count)
+	}
+}

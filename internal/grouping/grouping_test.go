@@ -1,0 +1,191 @@
+package grouping
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitmat"
+)
+
+func randomMatrix(rng *rand.Rand, m, n int, density float64) *bitmat.Matrix {
+	mat := bitmat.MustNew(m, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			if rng.Float64() < density {
+				mat.Set(i, j, true)
+			}
+		}
+	}
+	return mat
+}
+
+func TestVariantString(t *testing.T) {
+	if VariantBawa.String() != "grouping-ppi" || VariantSSPPI.String() != "ss-ppi" {
+		t.Error("variant names wrong")
+	}
+	if Variant(9).String() != "variant(9)" {
+		t.Error("unknown variant name wrong")
+	}
+}
+
+func TestConstructValidation(t *testing.T) {
+	truth := bitmat.MustNew(10, 2)
+	if _, err := Construct(truth, Config{Groups: 0, Variant: VariantBawa}); err == nil {
+		t.Error("0 groups accepted")
+	}
+	if _, err := Construct(truth, Config{Groups: 11, Variant: VariantBawa}); err == nil {
+		t.Error("groups > providers accepted")
+	}
+	if _, err := Construct(truth, Config{Groups: 2, Variant: Variant(9)}); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestGroupAssignmentBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truth := randomMatrix(rng, 100, 5, 0.1)
+	res, err := Construct(truth, Config{Groups: 7, Variant: VariantBawa, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Members) != 7 {
+		t.Fatalf("groups = %d", len(res.Members))
+	}
+	seen := make(map[int]bool)
+	for g, mem := range res.Members {
+		if len(mem) < 100/7 || len(mem) > 100/7+1 {
+			t.Fatalf("group %d size %d not balanced", g, len(mem))
+		}
+		for _, p := range mem {
+			if seen[p] {
+				t.Fatalf("provider %d in two groups", p)
+			}
+			seen[p] = true
+			if res.GroupOf[p] != g {
+				t.Fatalf("GroupOf inconsistent for %d", p)
+			}
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("assigned %d of 100 providers", len(seen))
+	}
+}
+
+func TestGroupLevelPublication(t *testing.T) {
+	// 4 providers, 2 groups. Identity at provider 0 only.
+	truth := bitmat.MustNew(4, 1)
+	truth.Set(0, 0, true)
+	res, err := Construct(truth, Config{Groups: 2, Variant: VariantBawa, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.GroupOf[0]
+	for _, p := range res.Members[g] {
+		if !res.Published.Get(p, 0) {
+			t.Fatalf("group member %d not published", p)
+		}
+	}
+	other := 1 - g
+	for _, p := range res.Members[other] {
+		if res.Published.Get(p, 0) {
+			t.Fatalf("non-member %d published", p)
+		}
+	}
+	// Recall: published covers truth.
+	if !res.Published.Covers(truth) {
+		t.Fatal("grouping lost recall")
+	}
+}
+
+func TestMembersIndistinguishable(t *testing.T) {
+	// Within a group, the published bits are identical for all members in
+	// every column — the k-anonymity property.
+	rng := rand.New(rand.NewSource(4))
+	truth := randomMatrix(rng, 60, 20, 0.15)
+	res, err := Construct(truth, Config{Groups: 6, Variant: VariantBawa, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mem := range res.Members {
+		for j := 0; j < 20; j++ {
+			first := res.Published.Get(mem[0], j)
+			for _, p := range mem[1:] {
+				if res.Published.Get(p, j) != first {
+					t.Fatalf("group members differ at column %d", j)
+				}
+			}
+		}
+	}
+}
+
+func TestSSPPILeaksFrequencies(t *testing.T) {
+	truth := bitmat.MustNew(10, 3)
+	truth.Set(0, 0, true)
+	truth.Set(1, 0, true)
+	truth.Set(5, 2, true)
+	bawa, err := Construct(truth, Config{Groups: 2, Variant: VariantBawa, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bawa.LeakedFrequencies != nil {
+		t.Fatal("Bawa variant leaked frequencies")
+	}
+	ss, err := Construct(truth, Config{Groups: 2, Variant: VariantSSPPI, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{2, 0, 1}
+	for j, f := range ss.LeakedFrequencies {
+		if f != want[j] {
+			t.Fatalf("leaked[%d] = %d, want %d", j, f, want[j])
+		}
+	}
+}
+
+func TestGroupsReporting(t *testing.T) {
+	// Common identity (everywhere) reports in all groups; rare identity in
+	// exactly one group.
+	truth := bitmat.MustNew(20, 2)
+	for i := 0; i < 20; i++ {
+		truth.Set(i, 0, true)
+	}
+	truth.Set(7, 1, true)
+	res, err := Construct(truth, Config{Groups: 5, Variant: VariantBawa, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.GroupsReporting(0); got != 5 {
+		t.Fatalf("common identity reports in %d groups, want 5", got)
+	}
+	if got := res.GroupsReporting(1); got != 1 {
+		t.Fatalf("rare identity reports in %d groups, want 1", got)
+	}
+}
+
+func TestSingleGroupBroadcast(t *testing.T) {
+	truth := bitmat.MustNew(5, 1)
+	truth.Set(2, 0, true)
+	res, err := Construct(truth, Config{Groups: 1, Variant: VariantBawa, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Published.ColCount(0) != 5 {
+		t.Fatal("single group should broadcast to all providers")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	truth := randomMatrix(rng, 30, 10, 0.2)
+	a, err := Construct(truth, Config{Groups: 3, Variant: VariantBawa, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Construct(truth, Config{Groups: 3, Variant: VariantBawa, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Published.Equal(b.Published) {
+		t.Fatal("same seed, different grouping")
+	}
+}

@@ -1,0 +1,189 @@
+// Package httpapi exposes the hosted PPI locator service over HTTP — the
+// deployment form of the paper's "global PPI server in a third-party
+// domain". The API surface is deliberately minimal and leaks nothing
+// beyond the published index:
+//
+//	GET /v1/query?owner=<identity>   → {"owner": ..., "providers": [ids]}
+//	GET /v1/stats                    → {"queries": n, "avgFanout": f}
+//	GET /v1/healthz                  → {"status": "ok", "providers": m, "owners": n}
+//
+// AuthSearch is intentionally absent: the second search phase happens at
+// the providers, never at the untrusted host.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+
+	"repro/internal/index"
+)
+
+// Handler serves the locator API over an index server.
+type Handler struct {
+	server *index.Server
+	mux    *http.ServeMux
+}
+
+var _ http.Handler = (*Handler)(nil)
+
+// NewHandler wraps srv.
+func NewHandler(srv *index.Server) (*Handler, error) {
+	if srv == nil {
+		return nil, errors.New("httpapi: nil index server")
+	}
+	h := &Handler{server: srv, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /v1/query", h.handleQuery)
+	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
+	h.mux.HandleFunc("GET /v1/healthz", h.handleHealthz)
+	return h, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// QueryResponse is the /v1/query payload.
+type QueryResponse struct {
+	Owner     string `json:"owner"`
+	Providers []int  `json:"providers"`
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	Queries   uint64  `json:"queries"`
+	AvgFanout float64 `json:"avgFanout"`
+}
+
+// HealthzResponse is the /v1/healthz payload.
+type HealthzResponse struct {
+	Status    string `json:"status"`
+	Providers int    `json:"providers"`
+	Owners    int    `json:"owners"`
+}
+
+// errorResponse is the uniform error payload.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	owner := r.URL.Query().Get("owner")
+	if owner == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing owner parameter"})
+		return
+	}
+	providers, err := h.server.Query(owner)
+	if err != nil {
+		if errors.Is(err, index.ErrUnknownOwner) {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	if providers == nil {
+		providers = []int{}
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{Owner: owner, Providers: providers})
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := h.server.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{Queries: st.Queries, AvgFanout: st.AvgFanout})
+}
+
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthzResponse{
+		Status:    "ok",
+		Providers: h.server.Providers(),
+		Owners:    h.server.Owners(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after the header is written can only be logged by
+	// the caller's middleware; the payloads here are in-memory structs.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Client is a typed client for the locator API, used by remote searchers
+// for the first phase of the two-phase search.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the service at base URL (e.g.
+// "http://127.0.0.1:8080"). httpClient may be nil for http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// ErrOwnerNotFound reports a 404 from /v1/query.
+var ErrOwnerNotFound = errors.New("httpapi: owner not found")
+
+// Query runs QueryPPI remotely.
+func (c *Client) Query(owner string) ([]int, error) {
+	u := fmt.Sprintf("%s/v1/query?owner=%s", c.base, urlQueryEscape(owner))
+	resp, err := c.http.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: query: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, fmt.Errorf("%w: %q", ErrOwnerNotFound, owner)
+	default:
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("httpapi: query status %d: %s", resp.StatusCode, e.Error)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return nil, fmt.Errorf("httpapi: decode query response: %w", err)
+	}
+	return qr.Providers, nil
+}
+
+// Stats fetches the service's load counters.
+func (c *Client) Stats() (StatsResponse, error) {
+	resp, err := c.http.Get(c.base + "/v1/stats")
+	if err != nil {
+		return StatsResponse{}, fmt.Errorf("httpapi: stats: %w", err)
+	}
+	defer resp.Body.Close()
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return StatsResponse{}, fmt.Errorf("httpapi: decode stats: %w", err)
+	}
+	return sr, nil
+}
+
+// Healthz checks service liveness.
+func (c *Client) Healthz() (HealthzResponse, error) {
+	resp, err := c.http.Get(c.base + "/v1/healthz")
+	if err != nil {
+		return HealthzResponse{}, fmt.Errorf("httpapi: healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	var hr HealthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		return HealthzResponse{}, fmt.Errorf("httpapi: decode healthz: %w", err)
+	}
+	return hr, nil
+}
+
+// urlQueryEscape escapes an owner identity for a query-string value.
+func urlQueryEscape(s string) string {
+	return url.QueryEscape(s)
+}

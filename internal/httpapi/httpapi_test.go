@@ -1,0 +1,147 @@
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/index"
+)
+
+func testService(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	m := bitmat.MustNew(4, 2)
+	m.Set(0, 0, true)
+	m.Set(2, 0, true)
+	m.Set(1, 1, true)
+	srv, err := index.NewServer(m, []string{"alice", "bob owner"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHandler(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts, NewClient(ts.URL, ts.Client())
+}
+
+func TestNewHandlerNil(t *testing.T) {
+	if _, err := NewHandler(nil); err == nil {
+		t.Fatal("nil server accepted")
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	_, client := testService(t)
+	got, err := client.Query("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Query = %v", got)
+	}
+}
+
+func TestQueryEscaping(t *testing.T) {
+	// Owner identities can contain spaces and URL-special characters.
+	_, client := testService(t)
+	got, err := client.Query("bob owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Query = %v", got)
+	}
+}
+
+func TestQueryUnknownOwner(t *testing.T) {
+	_, client := testService(t)
+	_, err := client.Query("mallory")
+	if !errors.Is(err, ErrOwnerNotFound) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestQueryMissingParam(t *testing.T) {
+	ts, _ := testService(t)
+	resp, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _ := testService(t)
+	resp, err := http.Post(ts.URL+"/v1/query?owner=alice", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	_, client := testService(t)
+	hz, err := client.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.Providers != 4 || hz.Owners != 2 {
+		t.Fatalf("healthz = %+v", hz)
+	}
+	if _, err := client.Query("alice"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 1 || st.AvgFanout != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	client := NewClient("http://127.0.0.1:1", nil) // nothing listens there
+	if _, err := client.Query("alice"); err == nil {
+		t.Fatal("query against dead server succeeded")
+	}
+	if _, err := client.Stats(); err == nil {
+		t.Fatal("stats against dead server succeeded")
+	}
+	if _, err := client.Healthz(); err == nil {
+		t.Fatal("healthz against dead server succeeded")
+	}
+}
+
+func TestEmptyProvidersList(t *testing.T) {
+	m := bitmat.MustNew(2, 1)
+	srv, err := index.NewServer(m, []string{"ghost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHandler(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client())
+	got, err := client.Query("ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || len(got) != 0 {
+		t.Fatalf("empty query = %v, want []", got)
+	}
+}

@@ -1,0 +1,106 @@
+// Package index implements the published ε-PPI: the data structure hosted
+// by the untrusted third-party locator service. It stores only the obscured
+// matrix M' — never the private matrix M or the β values — and serves the
+// QueryPPI operation: "which providers may hold records of owner t?".
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/bitmat"
+)
+
+// ErrUnknownOwner reports a query for an owner absent from the index.
+var ErrUnknownOwner = errors.New("index: unknown owner identity")
+
+// Server is the PPI server state. It is safe for concurrent queries.
+type Server struct {
+	published *bitmat.Matrix
+	names     []string
+	byName    map[string]int
+
+	mu      sync.Mutex
+	queries uint64
+	fanout  uint64 // cumulative result-list length (search cost)
+}
+
+// NewServer builds a server over the published matrix. names[j] labels
+// identity column j; duplicate names are rejected.
+func NewServer(published *bitmat.Matrix, names []string) (*Server, error) {
+	if published == nil {
+		return nil, errors.New("index: nil matrix")
+	}
+	if len(names) != published.Cols() {
+		return nil, fmt.Errorf("index: %d names for %d identity columns", len(names), published.Cols())
+	}
+	byName := make(map[string]int, len(names))
+	for j, name := range names {
+		if _, dup := byName[name]; dup {
+			return nil, fmt.Errorf("index: duplicate owner name %q", name)
+		}
+		byName[name] = j
+	}
+	// Defensive copy: the server must not observe later caller mutations.
+	return &Server{published: published.Clone(), names: append([]string(nil), names...), byName: byName}, nil
+}
+
+// Providers returns the provider count m.
+func (s *Server) Providers() int { return s.published.Rows() }
+
+// Owners returns the identity count n.
+func (s *Server) Owners() int { return s.published.Cols() }
+
+// Names returns the identity labels in column order.
+func (s *Server) Names() []string {
+	return append([]string(nil), s.names...)
+}
+
+// Query implements QueryPPI(t): the list of provider ids that may hold
+// records of the owner. The list includes the noise providers that give the
+// index its privacy.
+func (s *Server) Query(owner string) ([]int, error) {
+	j, ok := s.byName[owner]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownOwner, owner)
+	}
+	return s.QueryColumn(j), nil
+}
+
+// QueryColumn is Query by column number.
+func (s *Server) QueryColumn(j int) []int {
+	result := s.published.ColOnes(j)
+	s.mu.Lock()
+	s.queries++
+	s.fanout += uint64(len(result))
+	s.mu.Unlock()
+	return result
+}
+
+// Stats summarises query-time load.
+type Stats struct {
+	// Queries is the number of QueryPPI calls served.
+	Queries uint64
+	// AvgFanout is the mean result-list length (the per-query search cost
+	// a searcher pays in AuthSearch round-trips).
+	AvgFanout float64
+}
+
+// Stats returns a snapshot of server load.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Queries: s.queries}
+	if s.queries > 0 {
+		st.AvgFanout = float64(s.fanout) / float64(s.queries)
+	}
+	return st
+}
+
+// SearchCost returns the total published positives (Σ_j |column j|), the
+// network-wide query fan-out an exhaustive searcher would pay; experiments
+// use it as the search-overhead metric.
+func (s *Server) SearchCost() int {
+	return s.published.Count()
+}

@@ -1,0 +1,128 @@
+package index
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/bitmat"
+)
+
+func sampleServer(t *testing.T) *Server {
+	t.Helper()
+	m := bitmat.MustNew(4, 3)
+	m.Set(0, 0, true)
+	m.Set(2, 0, true)
+	m.Set(1, 1, true)
+	s, err := NewServer(m, []string{"alice", "bob", "carol"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewServerValidation(t *testing.T) {
+	m := bitmat.MustNew(2, 2)
+	if _, err := NewServer(nil, nil); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := NewServer(m, []string{"a"}); err == nil {
+		t.Error("name count mismatch accepted")
+	}
+	if _, err := NewServer(m, []string{"a", "a"}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+}
+
+func TestQuery(t *testing.T) {
+	s := sampleServer(t)
+	got, err := s.Query("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Query(alice) = %v, want [0 2]", got)
+	}
+	got, err = s.Query("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("Query(carol) = %v, want empty", got)
+	}
+	if _, err := s.Query("mallory"); !errors.Is(err, ErrUnknownOwner) {
+		t.Fatalf("unknown owner error = %v", err)
+	}
+}
+
+func TestServerIsolatedFromCallerMatrix(t *testing.T) {
+	m := bitmat.MustNew(2, 1)
+	m.Set(0, 0, true)
+	s, err := NewServer(m, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Set(1, 0, true) // caller mutates after handoff
+	got, err := s.Query("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("server observed caller mutation: %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := sampleServer(t)
+	if st := s.Stats(); st.Queries != 0 || st.AvgFanout != 0 {
+		t.Fatalf("fresh stats = %+v", st)
+	}
+	if _, err := s.Query("alice"); err != nil { // fanout 2
+		t.Fatal(err)
+	}
+	if _, err := s.Query("bob"); err != nil { // fanout 1
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Queries != 2 || st.AvgFanout != 1.5 {
+		t.Fatalf("stats = %+v, want 2 queries avg 1.5", st)
+	}
+	if s.SearchCost() != 3 {
+		t.Fatalf("SearchCost = %d, want 3", s.SearchCost())
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := sampleServer(t)
+	if s.Providers() != 4 || s.Owners() != 3 {
+		t.Fatalf("dims = %d x %d", s.Providers(), s.Owners())
+	}
+	names := s.Names()
+	if len(names) != 3 || names[0] != "alice" {
+		t.Fatalf("Names = %v", names)
+	}
+	names[0] = "evil"
+	if s.Names()[0] != "alice" {
+		t.Fatal("Names exposed internal slice")
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	s := sampleServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				if _, err := s.Query("alice"); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Queries != 2000 {
+		t.Fatalf("Queries = %d, want 2000", st.Queries)
+	}
+}

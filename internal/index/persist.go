@@ -1,0 +1,59 @@
+package index
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/bitmat"
+)
+
+// Snapshot is the serializable form of a PPI server: the published matrix
+// plus the identity labels. It deliberately contains nothing else — the
+// third-party host must never receive β values, thresholds or any other
+// construction by-product.
+type Snapshot struct {
+	// Matrix is the binary encoding of M'.
+	Matrix []byte
+	// Names are the identity labels in column order.
+	Names []string
+}
+
+// WriteTo serializes the server state (gob-framed Snapshot).
+func (s *Server) WriteTo(w io.Writer) (int64, error) {
+	raw, err := s.published.MarshalBinary()
+	if err != nil {
+		return 0, fmt.Errorf("index: encode matrix: %w", err)
+	}
+	cw := &countingWriter{w: w}
+	enc := gob.NewEncoder(cw)
+	if err := enc.Encode(Snapshot{Matrix: raw, Names: s.names}); err != nil {
+		return cw.n, fmt.Errorf("index: encode snapshot: %w", err)
+	}
+	return cw.n, nil
+}
+
+// Read deserializes a server previously written with WriteTo. Query
+// statistics start fresh.
+func Read(r io.Reader) (*Server, error) {
+	var snap Snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("index: decode snapshot: %w", err)
+	}
+	var mat bitmat.Matrix
+	if err := mat.UnmarshalBinary(snap.Matrix); err != nil {
+		return nil, fmt.Errorf("index: decode matrix: %w", err)
+	}
+	return NewServer(&mat, snap.Names)
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,51 @@
+package index
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	s := sampleServer(t)
+	if _, err := s.Query("alice"); err != nil { // stats should NOT persist
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) || n == 0 {
+		t.Fatalf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Providers() != s.Providers() || back.Owners() != s.Owners() {
+		t.Fatalf("dims %dx%d", back.Providers(), back.Owners())
+	}
+	got, err := back.Query("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Query after round trip = %v", got)
+	}
+	if st := back.Stats(); st.Queries != 1 {
+		t.Fatalf("restored stats = %+v, want fresh counter at 1 (this query only)", st)
+	}
+	if back.SearchCost() != s.SearchCost() {
+		t.Fatal("search cost changed across persistence")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a snapshot")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

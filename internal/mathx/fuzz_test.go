@@ -1,0 +1,44 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBeta hardens the policy calculators: any float inputs must either be
+// rejected by validation or produce a probability in [0, 1] — never NaN,
+// never a panic.
+func FuzzBeta(f *testing.F) {
+	f.Add(0.1, 0.5, 100, 0.02, 0.9)
+	f.Add(0.0, 0.0, 1, 0.0, 0.51)
+	f.Add(1.0, 1.0, 10000, 1.0, 0.999)
+	f.Add(math.NaN(), 0.5, 10, 0.1, 0.9)
+	f.Fuzz(func(t *testing.T, sigma, eps float64, m int, delta, gamma float64) {
+		for _, policy := range []Policy{PolicyBasic, PolicyIncremented, PolicyChernoff} {
+			b, err := Beta(policy, BetaParams{Sigma: sigma, Epsilon: eps, M: m, Delta: delta, Gamma: gamma})
+			if err != nil {
+				continue
+			}
+			if math.IsNaN(b) || b < 0 || b > 1 {
+				t.Fatalf("policy %v accepted (σ=%v ε=%v m=%d Δ=%v γ=%v) and returned %v",
+					policy, sigma, eps, m, delta, gamma, b)
+			}
+		}
+	})
+}
+
+// FuzzLambda: same hardening for the mixing-rate calculator.
+func FuzzLambda(f *testing.F) {
+	f.Add(0.5, 3, 100)
+	f.Add(0.0, 0, 1)
+	f.Add(1.0, 100, 100)
+	f.Fuzz(func(t *testing.T, xi float64, commons, n int) {
+		l, err := Lambda(xi, commons, n)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(l) || l < 0 || l > 1 {
+			t.Fatalf("Lambda(%v, %d, %d) = %v", xi, commons, n, l)
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Bernoulli draws a single biased coin flip with success probability p.
+func Bernoulli(rng *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return rng.Float64() < p
+}
+
+// Binomial draws X ~ Binomial(n, p). For small n it flips n coins; for
+// large n it uses a normal approximation with continuity correction, which
+// is accurate enough for the statistical experiments (n up to ~25,000
+// providers) and keeps index construction O(1) per identity when only the
+// count of flips is needed.
+func Binomial(rng *rand.Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	if sd < 4 {
+		// Skewed or tiny-variance regime: exact flips remain cheap enough.
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	k := int(math.Round(rng.NormFloat64()*sd + mean))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Zipf returns n weights following a Zipf distribution with exponent s,
+// normalised to sum to 1. Rank 0 is the most frequent.
+func Zipf(n int, s float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	var total float64
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		total += w[i]
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 if fewer than two
+// samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}

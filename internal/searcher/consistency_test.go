@@ -1,0 +1,64 @@
+package searcher
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/mathx"
+	"repro/internal/provider"
+)
+
+// End-to-end consistency: the false-positive rate a searcher observes
+// through AuthSearch must equal the matrix-level fp rate of the published
+// column — the system's privacy accounting and the search experience are
+// two views of the same quantity.
+func TestObservedFpMatchesMatrixFp(t *testing.T) {
+	const m = 120
+	rng := rand.New(rand.NewSource(1))
+	providers := make([]*provider.Provider, m)
+	for i := range providers {
+		providers[i] = provider.New(i, fmt.Sprintf("p%d", i))
+		providers[i].Grant("s")
+	}
+	truth := bitmat.MustNew(m, 1)
+	for i := 0; i < m; i++ {
+		if rng.Float64() < 0.08 {
+			truth.Set(i, 0, true)
+			if err := providers[i].Delegate(provider.Record{Owner: "alice", Body: "r"}, 0.6); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	res, err := core.Construct(truth, []float64{0.6}, core.Config{
+		Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := index.NewServer(res.Published, []string{"alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New("s", srv, providers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Search("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFp, err := bitmat.ColFalsePositiveRate(truth, res.Published, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs := got.ObservedFalsePositiveRate(); obs != wantFp {
+		t.Fatalf("observed fp %v != matrix fp %v", obs, wantFp)
+	}
+	if got.Contacted != res.Published.ColCount(0) {
+		t.Fatalf("contacted %d != published positives %d", got.Contacted, res.Published.ColCount(0))
+	}
+}

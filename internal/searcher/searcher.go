@@ -1,0 +1,122 @@
+// Package searcher implements the two-phase search procedure of the ε-PPI
+// system model: QueryPPI against the locator service followed by
+// AuthSearch against each candidate provider.
+package searcher
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/provider"
+)
+
+// ErrNoProviders reports a searcher constructed over an empty network.
+var ErrNoProviders = errors.New("searcher: no providers")
+
+// Searcher performs two-phase lookups on behalf of a named principal.
+type Searcher struct {
+	id        string
+	server    *index.Server
+	providers []*provider.Provider
+}
+
+// New creates a searcher. providers[i] must be the provider with network
+// id i (the same ordering used to build the index).
+func New(id string, server *index.Server, providers []*provider.Provider) (*Searcher, error) {
+	if len(providers) == 0 {
+		return nil, ErrNoProviders
+	}
+	if server.Providers() != len(providers) {
+		return nil, fmt.Errorf("searcher: index covers %d providers, got %d", server.Providers(), len(providers))
+	}
+	return &Searcher{id: id, server: server, providers: providers}, nil
+}
+
+// ID returns the searcher principal.
+func (s *Searcher) ID() string { return s.id }
+
+// Result is the outcome of one two-phase search.
+type Result struct {
+	// Records are all records of the owner found at authorized providers.
+	Records []provider.Record
+	// Contacted is the number of providers returned by QueryPPI — the
+	// search cost the privacy noise imposes.
+	Contacted int
+	// TruePositives is the number of contacted providers that actually
+	// held records.
+	TruePositives int
+	// FalsePositives is the number of contacted providers that held
+	// nothing (the index noise).
+	FalsePositives int
+	// Denied is the number of providers that refused authorization.
+	Denied int
+}
+
+// searchConcurrency bounds the parallel AuthSearch fan-out: the privacy
+// noise inflates the candidate list by design, so a federated searcher
+// contacts providers concurrently rather than serially.
+const searchConcurrency = 16
+
+// Search runs QueryPPI(owner) and AuthSearch against every returned
+// provider, fanning the second phase out over up to searchConcurrency
+// concurrent probes. Authorization denials are not fatal: the searcher
+// collects whatever the ACLs allow, as a real federated search must.
+// Results are deterministic: records are ordered by provider id.
+func (s *Searcher) Search(owner string) (*Result, error) {
+	candidates, err := s.server.Query(owner)
+	if err != nil {
+		return nil, fmt.Errorf("QueryPPI: %w", err)
+	}
+	type probe struct {
+		pid  int
+		recs []provider.Record
+		err  error
+	}
+	probes := make([]probe, len(candidates))
+	sem := make(chan struct{}, searchConcurrency)
+	var wg sync.WaitGroup
+	for i, pid := range candidates {
+		wg.Add(1)
+		go func(i, pid int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			recs, err := s.providers[pid].AuthSearch(s.id, owner)
+			probes[i] = probe{pid: pid, recs: recs, err: err}
+		}(i, pid)
+	}
+	wg.Wait()
+
+	res := &Result{Contacted: len(candidates)}
+	sort.Slice(probes, func(a, b int) bool { return probes[a].pid < probes[b].pid })
+	for _, p := range probes {
+		if p.err != nil {
+			if errors.Is(p.err, provider.ErrUnauthorized) {
+				res.Denied++
+				continue
+			}
+			return nil, fmt.Errorf("AuthSearch at provider %d: %w", p.pid, p.err)
+		}
+		if len(p.recs) == 0 {
+			res.FalsePositives++
+			continue
+		}
+		res.TruePositives++
+		res.Records = append(res.Records, p.recs...)
+	}
+	return res, nil
+}
+
+// ObservedFalsePositiveRate returns the fraction of contacted providers
+// that turned out to be noise — exactly the fp_j that bounds an attacker's
+// confidence (1 − fp_j) for this owner.
+func (r *Result) ObservedFalsePositiveRate() float64 {
+	answered := r.TruePositives + r.FalsePositives
+	if answered == 0 {
+		return 0
+	}
+	return float64(r.FalsePositives) / float64(answered)
+}

@@ -1,0 +1,114 @@
+package searcher
+
+import (
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/index"
+	"repro/internal/provider"
+)
+
+// buildSystem wires 4 providers, an index with one noise bit, and grants.
+func buildSystem(t *testing.T) (*index.Server, []*provider.Provider) {
+	t.Helper()
+	providers := make([]*provider.Provider, 4)
+	for i := range providers {
+		providers[i] = provider.New(i, "p")
+	}
+	// alice truly at providers 0 and 2.
+	for _, i := range []int{0, 2} {
+		if err := providers[i].Delegate(provider.Record{Owner: "alice", Body: "rec"}, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub := bitmat.MustNew(4, 1)
+	pub.Set(0, 0, true)
+	pub.Set(2, 0, true)
+	pub.Set(3, 0, true) // noise provider (false positive)
+	server, err := index.NewServer(pub, []string{"alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return server, providers
+}
+
+func TestNewValidation(t *testing.T) {
+	server, providers := buildSystem(t)
+	if _, err := New("s", server, nil); err == nil {
+		t.Error("empty provider list accepted")
+	}
+	if _, err := New("s", server, providers[:2]); err == nil {
+		t.Error("provider count mismatch accepted")
+	}
+	s, err := New("dr", server, providers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID() != "dr" {
+		t.Error("ID wrong")
+	}
+}
+
+func TestTwoPhaseSearch(t *testing.T) {
+	server, providers := buildSystem(t)
+	for _, p := range providers {
+		p.Grant("dr")
+	}
+	s, err := New("dr", server, providers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Search("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contacted != 3 {
+		t.Fatalf("Contacted = %d, want 3", res.Contacted)
+	}
+	if res.TruePositives != 2 || res.FalsePositives != 1 || res.Denied != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(res.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(res.Records))
+	}
+	if got := res.ObservedFalsePositiveRate(); got != 1.0/3.0 {
+		t.Fatalf("fp rate = %v, want 1/3", got)
+	}
+}
+
+func TestSearchWithDenials(t *testing.T) {
+	server, providers := buildSystem(t)
+	providers[0].Grant("dr") // only provider 0 authorizes
+	s, err := New("dr", server, providers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Search("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Denied != 2 || res.TruePositives != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(res.Records) != 1 {
+		t.Fatalf("records = %d", len(res.Records))
+	}
+}
+
+func TestSearchUnknownOwner(t *testing.T) {
+	server, providers := buildSystem(t)
+	s, err := New("dr", server, providers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Search("nobody"); err == nil {
+		t.Fatal("unknown owner accepted")
+	}
+}
+
+func TestFalsePositiveRateEmpty(t *testing.T) {
+	r := &Result{}
+	if r.ObservedFalsePositiveRate() != 0 {
+		t.Fatal("empty result fp rate != 0")
+	}
+}

@@ -1,0 +1,116 @@
+// Package secretshare implements the additive (c, c) secret-sharing scheme
+// over Z_q that underlies the ε-PPI SecSumShare protocol (Theorem 4.1 of the
+// paper).
+//
+// A secret v ∈ Z_q is split into c shares whose sum is v mod q; the first
+// c−1 shares are uniformly random, so any subset of at most c−1 shares is
+// statistically independent of v (perfect secrecy). The scheme is additively
+// homomorphic: summing the k-th shares of many secrets yields the k-th share
+// of the sum, which is exactly what lets SecSumShare aggregate identity
+// frequencies without ever reconstructing an individual provider's bit.
+package secretshare
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/field"
+)
+
+var (
+	// ErrBadShareCount reports c < 2; a single share would be the secret.
+	ErrBadShareCount = errors.New("secretshare: share count c must be >= 2")
+	// ErrEmpty reports an empty share set passed to Combine.
+	ErrEmpty = errors.New("secretshare: no shares to combine")
+	// ErrLengthMismatch reports vectors of unequal length.
+	ErrLengthMismatch = errors.New("secretshare: share vector length mismatch")
+)
+
+// Scheme is a (c, c) additive sharing scheme over a prime field.
+type Scheme struct {
+	f field.Field
+	c int
+}
+
+// New returns a scheme producing c shares over field f.
+func New(f field.Field, c int) (Scheme, error) {
+	if c < 2 {
+		return Scheme{}, fmt.Errorf("%w: %d", ErrBadShareCount, c)
+	}
+	return Scheme{f: f, c: c}, nil
+}
+
+// MustNew is New but panics on invalid c; for tests and literals.
+func MustNew(f field.Field, c int) Scheme {
+	s, err := New(f, c)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Field returns the underlying prime field.
+func (s Scheme) Field() field.Field { return s.f }
+
+// Shares returns c.
+func (s Scheme) Shares() int { return s.c }
+
+// Split decomposes secret v into c shares summing to v mod q. The first c−1
+// shares are drawn uniformly from Z_q using rng; the last is the balancing
+// term.
+func (s Scheme) Split(rng *rand.Rand, v uint64) []uint64 {
+	v = s.f.Reduce(v)
+	shares := make([]uint64, s.c)
+	var sum uint64
+	for k := 0; k < s.c-1; k++ {
+		shares[k] = s.f.Rand(rng)
+		sum = s.f.Add(sum, shares[k])
+	}
+	shares[s.c-1] = s.f.Sub(v, sum)
+	return shares
+}
+
+// Combine reconstructs the secret from exactly the full share set.
+func (s Scheme) Combine(shares []uint64) (uint64, error) {
+	if len(shares) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(shares) != s.c {
+		return 0, fmt.Errorf("secretshare: got %d shares, need %d", len(shares), s.c)
+	}
+	return s.f.Sum(shares), nil
+}
+
+// AddVectors returns the element-wise modular sum of two share vectors;
+// the additive-homomorphism primitive used when coordinators aggregate
+// super-shares.
+func (s Scheme) AddVectors(a, b []uint64) ([]uint64, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(a), len(b))
+	}
+	out := make([]uint64, len(a))
+	for i := range a {
+		out[i] = s.f.Add(s.f.Reduce(a[i]), s.f.Reduce(b[i]))
+	}
+	return out, nil
+}
+
+// SumVectors folds AddVectors over a set of share vectors (at least one).
+func (s Scheme) SumVectors(vectors [][]uint64) ([]uint64, error) {
+	if len(vectors) == 0 {
+		return nil, ErrEmpty
+	}
+	acc := make([]uint64, len(vectors[0]))
+	for i, v := range vectors[0] {
+		acc[i] = s.f.Reduce(v)
+	}
+	for _, vec := range vectors[1:] {
+		var err error
+		acc, err = s.AddVectors(acc, vec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}

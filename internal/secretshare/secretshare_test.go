@@ -1,0 +1,267 @@
+package secretshare
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+)
+
+func TestNewValidation(t *testing.T) {
+	f := field.Default()
+	if _, err := New(f, 1); err == nil {
+		t.Error("c=1 accepted")
+	}
+	if _, err := New(f, 0); err == nil {
+		t.Error("c=0 accepted")
+	}
+	s, err := New(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shares() != 3 {
+		t.Errorf("Shares = %d", s.Shares())
+	}
+	if s.Field().Modulus() != f.Modulus() {
+		t.Error("Field modulus mismatch")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustNew(field.Default(), 1)
+}
+
+// Recoverability (Theorem 4.1): Combine(Split(v)) == v for all v.
+func TestSplitCombineQuick(t *testing.T) {
+	f := field.Default()
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range []int{2, 3, 5, 16} {
+		s := MustNew(f, c)
+		prop := func(raw uint64) bool {
+			v := f.Reduce(raw)
+			shares := s.Split(rng, v)
+			if len(shares) != c {
+				return false
+			}
+			for _, sh := range shares {
+				if !f.Valid(sh) {
+					return false
+				}
+			}
+			got, err := s.Combine(shares)
+			return err == nil && got == v
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("c=%d: %v", c, err)
+		}
+	}
+}
+
+func TestCombineErrors(t *testing.T) {
+	s := MustNew(field.Default(), 3)
+	if _, err := s.Combine(nil); err == nil {
+		t.Error("empty shares accepted")
+	}
+	if _, err := s.Combine([]uint64{1, 2}); err == nil {
+		t.Error("short share set accepted")
+	}
+	if _, err := s.Combine([]uint64{1, 2, 3, 4}); err == nil {
+		t.Error("long share set accepted")
+	}
+}
+
+// Secrecy (Theorem 4.1): any c-1 shares of a fixed secret are uniform —
+// statistically, each partial share's low bits look unbiased and two
+// different secrets produce indistinguishable marginal distributions.
+func TestPartialSharesUniform(t *testing.T) {
+	f := field.MustNew(257) // small field so chi-square has power
+	s := MustNew(f, 3)
+	rng := rand.New(rand.NewSource(12))
+
+	countsSecretA := make([]int, 257)
+	countsSecretB := make([]int, 257)
+	const draws = 257 * 200
+	for i := 0; i < draws; i++ {
+		countsSecretA[s.Split(rng, 7)[0]]++
+		countsSecretB[s.Split(rng, 250)[0]]++
+	}
+	chiA := chiSquare(countsSecretA, draws)
+	chiB := chiSquare(countsSecretB, draws)
+	// 256 dof: mean 256, sd ~22.6; 400 is ~6 sigma.
+	if chiA > 400 || chiB > 400 {
+		t.Fatalf("first share not uniform: chiA=%v chiB=%v", chiA, chiB)
+	}
+}
+
+// The sum of any proper subset of shares must also be uniform (else the
+// last balancing share would leak).
+func TestSubsetSumUniform(t *testing.T) {
+	f := field.MustNew(101)
+	s := MustNew(f, 4)
+	rng := rand.New(rand.NewSource(13))
+	counts := make([]int, 101)
+	const draws = 101 * 200
+	for i := 0; i < draws; i++ {
+		sh := s.Split(rng, 42)
+		subset := f.Add(f.Add(sh[0], sh[1]), sh[3]) // 3 of 4 shares
+		counts[subset]++
+	}
+	if chi := chiSquare(counts, draws); chi > 200 {
+		t.Fatalf("3-share subset sum not uniform: chi=%v (100 dof)", chi)
+	}
+}
+
+func chiSquare(counts []int, total int) float64 {
+	expected := float64(total) / float64(len(counts))
+	var chi float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi += d * d / expected
+	}
+	return chi
+}
+
+// Additive homomorphism: share-wise sums reconstruct the sum of secrets.
+func TestHomomorphismQuick(t *testing.T) {
+	f := field.Default()
+	s := MustNew(f, 3)
+	rng := rand.New(rand.NewSource(14))
+	prop := func(a, b, c uint64) bool {
+		secrets := []uint64{f.Reduce(a), f.Reduce(b), f.Reduce(c)}
+		perParty := make([][]uint64, 3) // perParty[k][i] = share k of secret i
+		for k := range perParty {
+			perParty[k] = make([]uint64, len(secrets))
+		}
+		for i, v := range secrets {
+			sh := s.Split(rng, v)
+			for k := range sh {
+				perParty[k][i] = sh[k]
+			}
+		}
+		summed, err := s.SumVectors(perParty)
+		if err != nil {
+			return false
+		}
+		// SumVectors folded across parties? No: fold share-wise sums then
+		// combine. Each element of `summed` is Σ_k share_k of secret i?
+		// perParty rows are per-share-index vectors over secrets; summing the
+		// rows gives, per secret, the sum of all its shares = the secret.
+		for i, v := range secrets {
+			if summed[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddVectors(t *testing.T) {
+	f := field.MustNew(7)
+	s := MustNew(f, 2)
+	got, err := s.AddVectors([]uint64{6, 3, 0}, []uint64{5, 4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{4, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AddVectors[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if _, err := s.AddVectors([]uint64{1}, []uint64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSumVectorsErrors(t *testing.T) {
+	s := MustNew(field.Default(), 2)
+	if _, err := s.SumVectors(nil); err == nil {
+		t.Error("empty vector set accepted")
+	}
+	if _, err := s.SumVectors([][]uint64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged vectors accepted")
+	}
+}
+
+// Simulates the paper's Figure 3 numbers: q=5, c=3, five providers with
+// bits 0,1,1,0,0 — total frequency must reconstruct to 2.
+func TestPaperFigure3Scenario(t *testing.T) {
+	f := field.MustNew(5)
+	s := MustNew(f, 3)
+	rng := rand.New(rand.NewSource(15))
+	bits := []uint64{0, 1, 1, 0, 0}
+	perShare := make([][]uint64, 3)
+	for k := range perShare {
+		perShare[k] = make([]uint64, len(bits))
+	}
+	for i, b := range bits {
+		sh := s.Split(rng, b)
+		for k := range sh {
+			perShare[k][i] = sh[k]
+		}
+	}
+	// Coordinator k holds Σ_i perShare[k][i]; total of coordinators = Σ bits.
+	var total uint64
+	for k := 0; k < 3; k++ {
+		total = f.Add(total, f.Sum(perShare[k]))
+	}
+	if total != 2 {
+		t.Fatalf("reconstructed frequency = %d, want 2", total)
+	}
+}
+
+func TestSplitDistributionNotConstant(t *testing.T) {
+	// Regression guard: Split must actually randomise, not return v,0,0...
+	s := MustNew(field.Default(), 3)
+	rng := rand.New(rand.NewSource(16))
+	a := s.Split(rng, 9)
+	b := s.Split(rng, 9)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two Splits of the same secret produced identical shares")
+	}
+}
+
+func TestUniformityAcrossSecretValues(t *testing.T) {
+	// Distribution of share[0] must not depend on the secret: compare
+	// empirical means for two extreme secrets.
+	f := field.MustNew(1009)
+	s := MustNew(f, 2)
+	rng := rand.New(rand.NewSource(17))
+	meanFor := func(secret uint64) float64 {
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(s.Split(rng, secret)[0])
+		}
+		return sum / n
+	}
+	m0, m1 := meanFor(0), meanFor(1008)
+	if math.Abs(m0-m1) > 25 { // both should be ≈504
+		t.Fatalf("share mean depends on secret: %v vs %v", m0, m1)
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	s := MustNew(field.Default(), 3)
+	rng := rand.New(rand.NewSource(18))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Split(rng, uint64(i))
+	}
+}

@@ -1,0 +1,106 @@
+package secsum
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Fault-injection tests: the protocol must fail loudly — returning an
+// error in bounded time — when the network misbehaves, never hang and
+// never deliver a wrong sum silently... except that pure payload
+// corruption is indistinguishable from a different random share (additive
+// shares carry no redundancy), which is exactly the semi-honest model's
+// boundary: integrity against active tampering requires authenticated
+// sharing, out of the paper's scope.
+
+func runWithDeadline(t *testing.T, name string, fn func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s: protocol hung", name)
+		return nil
+	}
+}
+
+func TestCrashedProviderFailsFast(t *testing.T) {
+	s := scheme(t, 10007, 3)
+	inner, err := transport.NewInMem(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewFaulty(inner, transport.FaultPlan{FailSendFrom: map[int]bool{2: true}})
+	defer net.Close()
+	inputs := [][]uint64{{1}, {0}, {1}, {0}, {1}}
+	err = runWithDeadline(t, "crashed provider", func() error {
+		_, e := Run(net, s, inputs, 1)
+		return e
+	})
+	if err == nil {
+		t.Fatal("protocol succeeded despite crashed provider")
+	}
+}
+
+func TestDroppedMessagesFailFast(t *testing.T) {
+	s := scheme(t, 10007, 3)
+	inner, err := transport.NewInMem(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop everything: every provider will wait for shares that never
+	// arrive; the run must abort once any party errors (send never errors
+	// on drop, so the unblocking comes from the test closing the network).
+	net := transport.NewFaulty(inner, transport.FaultPlan{DropRate: 1, Seed: 2})
+	inputs := make([][]uint64, 6)
+	for i := range inputs {
+		inputs[i] = []uint64{1}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, e := Run(net, s, inputs, 3)
+		done <- e
+	}()
+	// Give the protocol a moment to wedge, then close the network: Run
+	// must return an error promptly rather than leak its goroutines.
+	time.Sleep(50 * time.Millisecond)
+	net.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("protocol succeeded with all messages dropped")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("protocol hung after network close")
+	}
+}
+
+func TestCorruptedShareStillSums(t *testing.T) {
+	// Corruption of a share message changes the reconstructed sum but is
+	// undetectable by design (additive shares are uniform); this test
+	// documents the boundary: the protocol completes and the result is
+	// (almost surely) wrong.
+	s := scheme(t, 104729, 3)
+	inner, err := transport.NewInMem(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewFaulty(inner, transport.FaultPlan{CorruptRate: 1, Seed: 4})
+	defer net.Close()
+	inputs := [][]uint64{{1}, {1}, {1}, {1}, {1}}
+	res, err := Run(net, s, inputs, 5)
+	if err != nil {
+		t.Fatalf("semi-honest protocol should complete under corruption: %v", err)
+	}
+	freqs, err := Frequencies(s, res.CoordinatorShares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freqs[0] == 5 {
+		t.Log("corrupted run coincidentally produced the true sum (probability ~1/q)")
+	}
+}

@@ -1,0 +1,236 @@
+// Package secsum implements SecSumShare, the parallel secure-sum protocol
+// of Section IV-B1 of the ε-PPI paper.
+//
+// Given m providers each holding a private boolean vector over n identities,
+// the protocol outputs c share vectors s(0,·)…s(c−1,·), held by c
+// coordinator providers, such that for every identity j:
+//
+//	Σ_k s(k, j) mod q  =  Σ_i M(i, j)   (the identity's frequency)
+//
+// No party learns any other party's input ((2c−3)-secrecy), and fewer than
+// all c coordinator vectors reveal nothing about any frequency (c-secrecy,
+// Theorem 4.1). The protocol runs in two constant-size communication rounds:
+//
+//  1. share distribution — provider i splits each input bit into c
+//     additive shares and sends the k-th share to successor (i+k) mod m;
+//  2. super-share aggregation — each provider sums the shares it received
+//     into a super-share vector and sends it to coordinator (i mod c).
+package secsum
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/secretshare"
+	"repro/internal/transport"
+)
+
+var (
+	// ErrTooFewProviders reports m < c: the ring cannot host c distinct
+	// share destinations per provider.
+	ErrTooFewProviders = errors.New("secsum: need at least c providers")
+	// ErrInputShape reports malformed provider inputs.
+	ErrInputShape = errors.New("secsum: malformed inputs")
+)
+
+// Result carries the protocol output and execution accounting.
+type Result struct {
+	// CoordinatorShares[k] is the share vector s(k, ·) held by coordinator
+	// provider k, one element per identity.
+	CoordinatorShares [][]uint64
+	// Rounds is the number of sequential communication rounds (always 2).
+	Rounds int
+	// Stats is the transport traffic consumed by this run.
+	Stats transport.Stats
+}
+
+// Run executes SecSumShare over net. inputs[i] is provider i's private
+// vector (one value per identity; for ε-PPI these are 0/1 membership bits,
+// but any field elements sum correctly). The scheme fixes c and the field.
+//
+// Run drives all m providers as goroutines over the supplied network; it is
+// used with the in-memory transport for simulation and with the TCP
+// transport for realistic distributed runs.
+func Run(net transport.Network, scheme secretshare.Scheme, inputs [][]uint64, seed int64) (*Result, error) {
+	m := net.Size()
+	c := scheme.Shares()
+	if m < c {
+		return nil, fmt.Errorf("%w: m=%d c=%d", ErrTooFewProviders, m, c)
+	}
+	if len(inputs) != m {
+		return nil, fmt.Errorf("%w: %d input vectors for %d providers", ErrInputShape, len(inputs), m)
+	}
+	numIDs := len(inputs[0])
+	for i, in := range inputs {
+		if len(in) != numIDs {
+			return nil, fmt.Errorf("%w: provider %d has %d identities, provider 0 has %d",
+				ErrInputShape, i, len(in), numIDs)
+		}
+	}
+
+	before := net.Stats()
+	coordShares := make([][]uint64, c)
+	errs := make([]error, m)
+	// On the first party failure the network is closed so that peers
+	// blocked in Recv fail fast instead of hanging on a peer that will
+	// never send (crashed node, dropped message).
+	var failOnce sync.Once
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+			shares, err := runProvider(net.Node(i), scheme, inputs[i], rng)
+			if err != nil {
+				errs[i] = fmt.Errorf("provider %d: %w", i, err)
+				failOnce.Do(func() { net.Close() })
+				return
+			}
+			if shares != nil {
+				coordShares[i] = shares
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Report a real protocol error in preference to the cascade of
+	// closed-network errors it triggers.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil || (errors.Is(firstErr, transport.ErrClosed) && !errors.Is(err, transport.ErrClosed)) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	after := net.Stats()
+	return &Result{
+		CoordinatorShares: coordShares,
+		Rounds:            2,
+		Stats: transport.Stats{
+			Messages: after.Messages - before.Messages,
+			Bytes:    after.Bytes - before.Bytes,
+		},
+	}, nil
+}
+
+// runProvider executes one provider's role. Coordinators (id < c) return
+// their aggregated share vector; other providers return nil.
+func runProvider(node transport.Node, scheme secretshare.Scheme, input []uint64, rng *rand.Rand) ([]uint64, error) {
+	m := node.Size()
+	c := scheme.Shares()
+	f := scheme.Field()
+	numIDs := len(input)
+	id := node.ID()
+
+	// Step 1: generate shares. perDest[k][j] is the k-th share of input[j],
+	// destined for successor (id+k) mod m; k=0 stays local.
+	perDest := make([][]uint64, c)
+	for k := range perDest {
+		perDest[k] = make([]uint64, numIDs)
+	}
+	for j, v := range input {
+		sh := scheme.Split(rng, v)
+		for k := range sh {
+			perDest[k][j] = sh[k]
+		}
+	}
+
+	// Step 2: distribute shares k=1..c-1 to the next c-1 neighbours.
+	for k := 1; k < c; k++ {
+		dest := (id + k) % m
+		msg := transport.Message{Kind: transport.KindShare, Seq: uint32(k), Data: perDest[k]}
+		if err := node.Send(dest, msg); err != nil {
+			return nil, fmt.Errorf("send share %d: %w", k, err)
+		}
+	}
+
+	// Step 3: receive c-1 share vectors from predecessors and fold them,
+	// together with the locally kept k=0 share, into the super-share.
+	coll := transport.NewCollector(node)
+	super := perDest[0]
+	for k := 1; k < c; k++ {
+		msg, err := coll.RecvKind(transport.KindShare, uint32(k))
+		if err != nil {
+			return nil, fmt.Errorf("recv share %d: %w", k, err)
+		}
+		if wantFrom := ((id-k)%m + m) % m; msg.From != wantFrom {
+			return nil, fmt.Errorf("share %d from party %d, want %d", k, msg.From, wantFrom)
+		}
+		if len(msg.Data) != numIDs {
+			return nil, fmt.Errorf("share %d has %d elements, want %d", k, len(msg.Data), numIDs)
+		}
+		var err2 error
+		super, err2 = scheme.AddVectors(super, msg.Data)
+		if err2 != nil {
+			return nil, err2
+		}
+	}
+
+	// Step 4: ship the super-share to coordinator (id mod c).
+	coordID := id % c
+	msg := transport.Message{Kind: transport.KindSuperShare, Data: super}
+	if err := node.Send(coordID, msg); err != nil {
+		return nil, fmt.Errorf("send super-share: %w", err)
+	}
+
+	if id >= c {
+		return nil, nil
+	}
+
+	// Coordinator role: gather super-shares from every provider p with
+	// p mod c == id (including our own, sent above) and sum them.
+	expected := 0
+	for p := id; p < m; p += c {
+		expected++
+	}
+	gathered, err := coll.GatherKind(transport.KindSuperShare, 0, expected)
+	if err != nil {
+		return nil, fmt.Errorf("gather super-shares: %w", err)
+	}
+	acc := make([]uint64, numIDs)
+	for from, gm := range gathered {
+		if from%c != id {
+			return nil, fmt.Errorf("super-share from party %d not assigned to coordinator %d", from, id)
+		}
+		if len(gm.Data) != numIDs {
+			return nil, fmt.Errorf("super-share from %d has %d elements, want %d", from, len(gm.Data), numIDs)
+		}
+		for j, v := range gm.Data {
+			acc[j] = f.Add(acc[j], f.Reduce(v))
+		}
+	}
+	return acc, nil
+}
+
+// Frequencies reconstructs per-identity frequencies from the c coordinator
+// share vectors. It exists for tests and for the *trusted-aggregate*
+// construction path; the secure path never reconstructs frequencies outside
+// the CountBelow circuit.
+func Frequencies(scheme secretshare.Scheme, coordShares [][]uint64) ([]uint64, error) {
+	c := scheme.Shares()
+	if len(coordShares) != c {
+		return nil, fmt.Errorf("secsum: %d coordinator vectors, want %d", len(coordShares), c)
+	}
+	if c == 0 || len(coordShares[0]) == 0 {
+		return nil, nil
+	}
+	f := scheme.Field()
+	n := len(coordShares[0])
+	out := make([]uint64, n)
+	for k, vec := range coordShares {
+		if len(vec) != n {
+			return nil, fmt.Errorf("secsum: coordinator %d vector length %d, want %d", k, len(vec), n)
+		}
+		for j, v := range vec {
+			out[j] = f.Add(out[j], f.Reduce(v))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// FaultPlan configures deterministic fault injection for tests: the ε-PPI
+// protocols are expected to fail loudly (return errors) rather than hang or
+// silently mis-compute when the network misbehaves.
+type FaultPlan struct {
+	// DropRate is the probability that a message is silently dropped.
+	DropRate float64
+	// CorruptRate is the probability that a message's payload is replaced
+	// with random field elements of the same length.
+	CorruptRate float64
+	// FailSendFrom makes every Send from the listed party ids fail
+	// immediately (a crashed node).
+	FailSendFrom map[int]bool
+	// Seed drives the fault randomness.
+	Seed int64
+}
+
+// FaultyNetwork wraps a Network and injects faults on Send.
+type FaultyNetwork struct {
+	inner Network
+	plan  FaultPlan
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	nodes []*faultyNode
+}
+
+var _ Network = (*FaultyNetwork)(nil)
+
+// NewFaulty wraps inner with the given fault plan.
+func NewFaulty(inner Network, plan FaultPlan) *FaultyNetwork {
+	f := &FaultyNetwork{
+		inner: inner,
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+		nodes: make([]*faultyNode, inner.Size()),
+	}
+	for i := range f.nodes {
+		f.nodes[i] = &faultyNode{net: f, inner: inner.Node(i)}
+	}
+	return f
+}
+
+// Node returns the fault-wrapped endpoint of party id.
+func (f *FaultyNetwork) Node(id int) Node { return f.nodes[id] }
+
+// Size returns the number of parties.
+func (f *FaultyNetwork) Size() int { return f.inner.Size() }
+
+// Stats returns the inner network's counters (faulted sends that were
+// dropped do not reach the wire and are not counted).
+func (f *FaultyNetwork) Stats() Stats { return f.inner.Stats() }
+
+// Close closes the inner network.
+func (f *FaultyNetwork) Close() error { return f.inner.Close() }
+
+// decide returns the fate of one message under the plan.
+func (f *FaultyNetwork) decide(from int) (drop, corrupt, fail bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.plan.FailSendFrom[from] {
+		return false, false, true
+	}
+	r := f.rng.Float64()
+	if r < f.plan.DropRate {
+		return true, false, false
+	}
+	if r < f.plan.DropRate+f.plan.CorruptRate {
+		return false, true, false
+	}
+	return false, false, false
+}
+
+func (f *FaultyNetwork) corruptPayload(data []uint64) []uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]uint64, len(data))
+	for i := range out {
+		out[i] = f.rng.Uint64()
+	}
+	return out
+}
+
+type faultyNode struct {
+	net   *FaultyNetwork
+	inner Node
+}
+
+var _ Node = (*faultyNode)(nil)
+
+func (n *faultyNode) ID() int   { return n.inner.ID() }
+func (n *faultyNode) Size() int { return n.inner.Size() }
+
+func (n *faultyNode) Send(to int, m Message) error {
+	drop, corrupt, fail := n.net.decide(n.inner.ID())
+	if fail {
+		return fmt.Errorf("transport: injected send failure at party %d", n.inner.ID())
+	}
+	if drop {
+		return nil // silently lost in transit
+	}
+	if corrupt && len(m.Data) > 0 {
+		m.Data = n.net.corruptPayload(m.Data)
+	}
+	return n.inner.Send(to, m)
+}
+
+func (n *faultyNode) Recv() (Message, error) { return n.inner.Recv() }
+func (n *faultyNode) Close() error           { return n.inner.Close() }

@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"testing"
+)
+
+func TestFaultyPassThrough(t *testing.T) {
+	inner, err := NewInMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewFaulty(inner, FaultPlan{}) // no faults
+	defer net.Close()
+	if net.Size() != 2 {
+		t.Fatalf("Size = %d", net.Size())
+	}
+	if err := net.Node(0).Send(1, Message{Kind: KindShare, Data: []uint64{7}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := net.Node(1).Recv()
+	if err != nil || m.Data[0] != 7 {
+		t.Fatalf("recv %+v err=%v", m, err)
+	}
+	if net.Stats().Messages != 1 {
+		t.Fatalf("Stats = %+v", net.Stats())
+	}
+}
+
+func TestFaultyDropsEverything(t *testing.T) {
+	inner, err := NewInMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewFaulty(inner, FaultPlan{DropRate: 1, Seed: 1})
+	defer net.Close()
+	for i := 0; i < 10; i++ {
+		if err := net.Node(0).Send(1, Message{Kind: KindShare}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if net.Stats().Messages != 0 {
+		t.Fatalf("dropped messages reached the wire: %+v", net.Stats())
+	}
+}
+
+func TestFaultyCorruptsPayload(t *testing.T) {
+	inner, err := NewInMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewFaulty(inner, FaultPlan{CorruptRate: 1, Seed: 2})
+	defer net.Close()
+	orig := []uint64{1, 2, 3}
+	if err := net.Node(0).Send(1, Message{Kind: KindShare, Data: orig}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := net.Node(1).Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range orig {
+		if m.Data[i] != orig[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("payload not corrupted")
+	}
+	if len(m.Data) != len(orig) {
+		t.Fatal("corruption changed payload length")
+	}
+}
+
+func TestFaultyCrashedSender(t *testing.T) {
+	inner, err := NewInMem(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewFaulty(inner, FaultPlan{FailSendFrom: map[int]bool{1: true}, Seed: 3})
+	defer net.Close()
+	if err := net.Node(1).Send(0, Message{}); err == nil {
+		t.Fatal("crashed sender's Send succeeded")
+	}
+	if err := net.Node(0).Send(1, Message{}); err != nil {
+		t.Fatalf("healthy sender failed: %v", err)
+	}
+}

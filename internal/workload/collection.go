@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/bitmat"
+)
+
+// LoadCollectionTable builds a Dataset from a "collection table" in the
+// format of the paper's TREC-WT10g–derived input [23]: one line per
+// document placement,
+//
+//	<collection-id>,<owner-identity>
+//
+// where each collection is a provider and owner identities are the
+// documents' source URLs. Blank lines and lines starting with '#' are
+// skipped. Collection ids are assigned provider rows in first-appearance
+// order; identities are assigned columns sorted lexicographically (so the
+// matrix layout is deterministic for a given file). ε values default to
+// defaultEps for every owner (the dataset has no privacy metric; the paper
+// samples ε randomly — callers can overwrite Dataset.Eps).
+func LoadCollectionTable(r io.Reader, defaultEps float64) (*Dataset, error) {
+	if defaultEps < 0 || defaultEps > 1 {
+		return nil, fmt.Errorf("%w: default ε %v", ErrBadConfig, defaultEps)
+	}
+	type placement struct {
+		provider string
+		owner    string
+	}
+	var placements []placement
+	providerOrder := []string{}
+	providerIdx := map[string]int{}
+	ownerSet := map[string]bool{}
+
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		provider, owner, ok := strings.Cut(line, ",")
+		if !ok {
+			return nil, fmt.Errorf("workload: line %d: want \"collection,owner\", got %q", lineNo, line)
+		}
+		provider = strings.TrimSpace(provider)
+		owner = strings.TrimSpace(owner)
+		if provider == "" || owner == "" {
+			return nil, fmt.Errorf("workload: line %d: empty field in %q", lineNo, line)
+		}
+		if _, seen := providerIdx[provider]; !seen {
+			providerIdx[provider] = len(providerOrder)
+			providerOrder = append(providerOrder, provider)
+		}
+		ownerSet[owner] = true
+		placements = append(placements, placement{provider: provider, owner: owner})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("workload: read collection table: %w", err)
+	}
+	if len(placements) == 0 {
+		return nil, errors.New("workload: empty collection table")
+	}
+
+	owners := make([]string, 0, len(ownerSet))
+	for o := range ownerSet {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+	ownerIdx := make(map[string]int, len(owners))
+	for j, o := range owners {
+		ownerIdx[o] = j
+	}
+
+	d := &Dataset{Names: owners, Eps: make([]float64, len(owners))}
+	for j := range d.Eps {
+		d.Eps[j] = defaultEps
+	}
+	mat, err := bitmat.New(len(providerOrder), len(owners))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range placements {
+		mat.Set(providerIdx[p.provider], ownerIdx[p.owner], true)
+	}
+	d.Matrix = mat
+	return d, nil
+}
+
+// WriteCollectionTable serializes a dataset back to the collection-table
+// format (one line per set membership bit), the inverse of
+// LoadCollectionTable for round-trip tooling. Provider rows are named
+// "collection-<row>".
+func WriteCollectionTable(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# collection,owner"); err != nil {
+		return err
+	}
+	for i := 0; i < d.Providers(); i++ {
+		for j := 0; j < d.Owners(); j++ {
+			if !d.Matrix.Get(i, j) {
+				continue
+			}
+			if _, err := fmt.Fprintf(bw, "collection-%d,%s\n", i, d.Names[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleTable = `# collection,owner
+lib-a, owner://x.example.org
+lib-a, owner://y.example.org
+
+lib-b, owner://x.example.org
+lib-c, owner://z.example.org
+lib-a, owner://x.example.org
+`
+
+func TestLoadCollectionTable(t *testing.T) {
+	d, err := LoadCollectionTable(strings.NewReader(sampleTable), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Providers() != 3 || d.Owners() != 3 {
+		t.Fatalf("dims = %dx%d", d.Providers(), d.Owners())
+	}
+	// Owners sorted lexicographically: x, y, z.
+	if d.Names[0] != "owner://x.example.org" || d.Names[2] != "owner://z.example.org" {
+		t.Fatalf("names = %v", d.Names)
+	}
+	// x appears at lib-a (row 0, duplicate line collapses) and lib-b (row 1).
+	if d.Frequency(0) != 2 {
+		t.Fatalf("freq(x) = %d, want 2", d.Frequency(0))
+	}
+	if d.Frequency(1) != 1 || d.Frequency(2) != 1 {
+		t.Fatalf("freqs = %d, %d", d.Frequency(1), d.Frequency(2))
+	}
+	for _, e := range d.Eps {
+		if e != 0.5 {
+			t.Fatalf("ε = %v", e)
+		}
+	}
+}
+
+func TestLoadCollectionTableErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		eps   float64
+	}{
+		{"empty", "", 0.5},
+		{"comment only", "# nothing\n", 0.5},
+		{"missing comma", "lib-a owner\n", 0.5},
+		{"empty provider", ",owner\n", 0.5},
+		{"empty owner", "lib-a,\n", 0.5},
+		{"bad eps", "lib-a,o\n", 1.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadCollectionTable(strings.NewReader(tc.input), tc.eps); err == nil {
+				t.Fatalf("input %q accepted", tc.input)
+			}
+		})
+	}
+}
+
+func TestCollectionTableRoundTrip(t *testing.T) {
+	orig, err := GenerateZipf(ZipfConfig{Providers: 20, Owners: 15, Exponent: 1.0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCollectionTable(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCollectionTable(&buf, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Owners() != orig.Owners() {
+		t.Fatalf("owners %d != %d", back.Owners(), orig.Owners())
+	}
+	// Providers with zero records do not appear in the table; frequencies
+	// must survive exactly.
+	for j := 0; j < orig.Owners(); j++ {
+		// Column order may differ (sorted); map by name.
+		name := orig.Names[j]
+		found := -1
+		for k, n := range back.Names {
+			if n == name {
+				found = k
+			}
+		}
+		if found < 0 {
+			t.Fatalf("owner %q lost", name)
+		}
+		if back.Frequency(found) != orig.Frequency(j) {
+			t.Fatalf("owner %q frequency %d != %d", name, back.Frequency(found), orig.Frequency(j))
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package workload generates the synthetic information-network datasets the
+// experiments run on, standing in for the TREC-WT10g–derived distributed
+// document collection of the paper ([23], [24]).
+//
+// The paper's dataset maps documents to 2,500–25,000 "collections"
+// (providers) with source URLs as owner identities; what the experiments
+// consume is only the membership matrix and the identity-frequency profile.
+// The generator reproduces that profile: identity frequencies follow a Zipf
+// law (a handful of very common identities, a long tail of rare ones), and
+// per-owner privacy degrees ε are drawn uniformly from [0,1] as in
+// Section V-A.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/bitmat"
+	"repro/internal/mathx"
+)
+
+// Dataset is a generated information network.
+type Dataset struct {
+	// Matrix is the private membership matrix M (providers × owners).
+	Matrix *bitmat.Matrix
+	// Names labels the owner identities (column order).
+	Names []string
+	// Eps holds per-owner privacy degrees ε_j.
+	Eps []float64
+}
+
+// Providers returns m.
+func (d *Dataset) Providers() int { return d.Matrix.Rows() }
+
+// Owners returns n.
+func (d *Dataset) Owners() int { return d.Matrix.Cols() }
+
+// Frequency returns identity j's absolute frequency (provider count).
+func (d *Dataset) Frequency(j int) int { return d.Matrix.ColCount(j) }
+
+// ZipfConfig parameterises the Zipf generator.
+type ZipfConfig struct {
+	// Providers is m.
+	Providers int
+	// Owners is n.
+	Owners int
+	// Exponent is the Zipf skew s (1.0 resembles web-collection data).
+	Exponent float64
+	// MaxFrequency caps the most common identity's provider count
+	// (defaults to Providers).
+	MaxFrequency int
+	// MinFrequency floors every identity's provider count (default 1).
+	MinFrequency int
+	// EpsLow and EpsHigh bound the uniform ε distribution; the zero value
+	// (0, 0) is replaced by the paper's default [0, 1].
+	EpsLow, EpsHigh float64
+	// Seed drives generation.
+	Seed int64
+}
+
+// ErrBadConfig reports invalid generator parameters.
+var ErrBadConfig = errors.New("workload: invalid configuration")
+
+// GenerateZipf builds a dataset whose identity frequencies follow a Zipf
+// law: identity of rank r has frequency ∝ r^(−Exponent), scaled so rank 0
+// hits MaxFrequency. Providers are chosen uniformly per identity.
+func GenerateZipf(cfg ZipfConfig) (*Dataset, error) {
+	if cfg.Providers < 1 || cfg.Owners < 1 {
+		return nil, fmt.Errorf("%w: %d providers, %d owners", ErrBadConfig, cfg.Providers, cfg.Owners)
+	}
+	if cfg.Exponent <= 0 {
+		return nil, fmt.Errorf("%w: exponent %v", ErrBadConfig, cfg.Exponent)
+	}
+	maxFreq := cfg.MaxFrequency
+	if maxFreq == 0 {
+		maxFreq = cfg.Providers
+	}
+	if maxFreq < 1 || maxFreq > cfg.Providers {
+		return nil, fmt.Errorf("%w: max frequency %d", ErrBadConfig, maxFreq)
+	}
+	minFreq := cfg.MinFrequency
+	if minFreq == 0 {
+		minFreq = 1
+	}
+	if minFreq < 1 || minFreq > maxFreq {
+		return nil, fmt.Errorf("%w: min frequency %d", ErrBadConfig, minFreq)
+	}
+	lo, hi := cfg.EpsLow, cfg.EpsHigh
+	if lo == 0 && hi == 0 {
+		hi = 1
+	}
+	if lo < 0 || hi > 1 || lo > hi {
+		return nil, fmt.Errorf("%w: ε range [%v, %v]", ErrBadConfig, lo, hi)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	weights := mathx.Zipf(cfg.Owners, cfg.Exponent)
+	mat, err := bitmat.New(cfg.Providers, cfg.Owners)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, cfg.Owners)
+	eps := make([]float64, cfg.Owners)
+	scale := float64(maxFreq) / weights[0]
+	for j := 0; j < cfg.Owners; j++ {
+		names[j] = ownerName(j)
+		eps[j] = lo + (hi-lo)*rng.Float64()
+		freq := int(weights[j] * scale)
+		if freq < minFreq {
+			freq = minFreq
+		}
+		if freq > cfg.Providers {
+			freq = cfg.Providers
+		}
+		fillColumn(rng, mat, j, freq)
+	}
+	return &Dataset{Matrix: mat, Names: names, Eps: eps}, nil
+}
+
+// FixedConfig parameterises a controlled-frequency dataset, used by the
+// policy-comparison experiments that sweep exact identity frequencies.
+type FixedConfig struct {
+	// Providers is m.
+	Providers int
+	// Frequencies gives each owner's exact provider count.
+	Frequencies []int
+	// Eps gives each owner's ε (len must match Frequencies).
+	Eps []float64
+	// Seed drives the provider placement.
+	Seed int64
+}
+
+// GenerateFixed builds a dataset with exact per-identity frequencies.
+func GenerateFixed(cfg FixedConfig) (*Dataset, error) {
+	if cfg.Providers < 1 || len(cfg.Frequencies) == 0 {
+		return nil, fmt.Errorf("%w: %d providers, %d owners", ErrBadConfig, cfg.Providers, len(cfg.Frequencies))
+	}
+	if len(cfg.Eps) != len(cfg.Frequencies) {
+		return nil, fmt.Errorf("%w: %d ε for %d owners", ErrBadConfig, len(cfg.Eps), len(cfg.Frequencies))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mat, err := bitmat.New(cfg.Providers, len(cfg.Frequencies))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(cfg.Frequencies))
+	for j, f := range cfg.Frequencies {
+		if f < 0 || f > cfg.Providers {
+			return nil, fmt.Errorf("%w: frequency %d out of [0, %d]", ErrBadConfig, f, cfg.Providers)
+		}
+		names[j] = ownerName(j)
+		fillColumn(rng, mat, j, f)
+	}
+	eps := make([]float64, len(cfg.Eps))
+	copy(eps, cfg.Eps)
+	return &Dataset{Matrix: mat, Names: names, Eps: eps}, nil
+}
+
+// fillColumn sets exactly freq random rows of column j (reservoir-free:
+// partial Fisher-Yates over row indices).
+func fillColumn(rng *rand.Rand, mat *bitmat.Matrix, j, freq int) {
+	m := mat.Rows()
+	if freq >= m {
+		for i := 0; i < m; i++ {
+			mat.Set(i, j, true)
+		}
+		return
+	}
+	// Floyd's sampling: distinct rows without allocating a full permutation.
+	chosen := make(map[int]bool, freq)
+	for k := m - freq; k < m; k++ {
+		r := rng.Intn(k + 1)
+		if chosen[r] {
+			r = k
+		}
+		chosen[r] = true
+	}
+	for i := range chosen {
+		mat.Set(i, j, true)
+	}
+}
+
+// ownerName returns a synthetic URL-like owner identity, mirroring the
+// paper's use of source web URLs as identities.
+func ownerName(j int) string {
+	return "owner://site-" + strconv.Itoa(j) + ".example.org"
+}

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateZipfShape(t *testing.T) {
+	d, err := GenerateZipf(ZipfConfig{
+		Providers: 500,
+		Owners:    100,
+		Exponent:  1.0,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Providers() != 500 || d.Owners() != 100 {
+		t.Fatalf("dims = %d x %d", d.Providers(), d.Owners())
+	}
+	// Rank 0 is the most frequent and hits the default cap (= providers).
+	if f := d.Frequency(0); f != 500 {
+		t.Fatalf("rank-0 frequency = %d, want 500", f)
+	}
+	// Frequencies are non-increasing in rank (Zipf), with min 1.
+	prev := d.Frequency(0)
+	for j := 1; j < 100; j++ {
+		f := d.Frequency(j)
+		if f < 1 {
+			t.Fatalf("frequency[%d] = %d < 1", j, f)
+		}
+		if f > prev {
+			t.Fatalf("frequency not non-increasing at %d: %d > %d", j, f, prev)
+		}
+		prev = f
+	}
+	// Long tail: the median identity is far rarer than the head.
+	if d.Frequency(50) > 20 {
+		t.Fatalf("tail too heavy: freq[50] = %d", d.Frequency(50))
+	}
+	// ε defaults to [0,1].
+	for j, e := range d.Eps {
+		if e < 0 || e > 1 {
+			t.Fatalf("ε[%d] = %v", j, e)
+		}
+	}
+	// Names look like source URLs.
+	if !strings.HasPrefix(d.Names[0], "owner://") {
+		t.Fatalf("name = %q", d.Names[0])
+	}
+}
+
+func TestGenerateZipfValidation(t *testing.T) {
+	bad := []ZipfConfig{
+		{Providers: 0, Owners: 10, Exponent: 1},
+		{Providers: 10, Owners: 0, Exponent: 1},
+		{Providers: 10, Owners: 10, Exponent: 0},
+		{Providers: 10, Owners: 10, Exponent: 1, MaxFrequency: 11},
+		{Providers: 10, Owners: 10, Exponent: 1, MinFrequency: 11},
+		{Providers: 10, Owners: 10, Exponent: 1, EpsLow: 0.5, EpsHigh: 0.2},
+		{Providers: 10, Owners: 10, Exponent: 1, EpsLow: -1, EpsHigh: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateZipf(cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestGenerateZipfEpsRange(t *testing.T) {
+	d, err := GenerateZipf(ZipfConfig{
+		Providers: 50, Owners: 200, Exponent: 1, EpsLow: 0.4, EpsHigh: 0.6, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, e := range d.Eps {
+		if e < 0.4 || e > 0.6 {
+			t.Fatalf("ε[%d] = %v outside [0.4, 0.6]", j, e)
+		}
+	}
+}
+
+func TestGenerateZipfMaxFrequencyCap(t *testing.T) {
+	d, err := GenerateZipf(ZipfConfig{
+		Providers: 1000, Owners: 50, Exponent: 1, MaxFrequency: 100, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 50; j++ {
+		if f := d.Frequency(j); f > 100 {
+			t.Fatalf("frequency[%d] = %d exceeds cap", j, f)
+		}
+	}
+	if d.Frequency(0) != 100 {
+		t.Fatalf("rank 0 = %d, want cap 100", d.Frequency(0))
+	}
+}
+
+func TestGenerateFixedExactFrequencies(t *testing.T) {
+	freqs := []int{0, 1, 7, 100}
+	d, err := GenerateFixed(FixedConfig{
+		Providers:   100,
+		Frequencies: freqs,
+		Eps:         []float64{0.1, 0.2, 0.3, 0.4},
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, f := range freqs {
+		if got := d.Frequency(j); got != f {
+			t.Fatalf("frequency[%d] = %d, want %d", j, got, f)
+		}
+	}
+}
+
+func TestGenerateFixedValidation(t *testing.T) {
+	if _, err := GenerateFixed(FixedConfig{Providers: 10, Frequencies: []int{11}, Eps: []float64{0.5}}); err == nil {
+		t.Error("frequency > providers accepted")
+	}
+	if _, err := GenerateFixed(FixedConfig{Providers: 10, Frequencies: []int{-1}, Eps: []float64{0.5}}); err == nil {
+		t.Error("negative frequency accepted")
+	}
+	if _, err := GenerateFixed(FixedConfig{Providers: 10, Frequencies: []int{1}, Eps: nil}); err == nil {
+		t.Error("ε mismatch accepted")
+	}
+	if _, err := GenerateFixed(FixedConfig{Providers: 0, Frequencies: []int{1}, Eps: []float64{0.5}}); err == nil {
+		t.Error("0 providers accepted")
+	}
+}
+
+func TestFixedPlacementIsRandomised(t *testing.T) {
+	a, err := GenerateFixed(FixedConfig{Providers: 100, Frequencies: []int{10}, Eps: []float64{0.5}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFixed(FixedConfig{Providers: 100, Frequencies: []int{10}, Eps: []float64{0.5}, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Matrix.Equal(b.Matrix) {
+		t.Fatal("different seeds placed identically")
+	}
+	c, err := GenerateFixed(FixedConfig{Providers: 100, Frequencies: []int{10}, Eps: []float64{0.5}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Matrix.Equal(c.Matrix) {
+		t.Fatal("same seed placed differently")
+	}
+}
