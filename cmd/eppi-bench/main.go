@@ -11,9 +11,15 @@
 // figure's series (one column per line in the paper's plot) or the table's
 // rows. -quick shrinks the workloads for smoke runs; the default scale
 // matches the paper (10,000 providers for Figures 4-5).
+//
+// Unless -metrics=false, text output ends with a "== metrics snapshot =="
+// section: a JSON dump of the instrumentation gathered across the run
+// (index query fan-out from searchcost, transport traffic and MPC phase
+// timers from the Fig 6 protocol executions).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -42,6 +49,7 @@ func run(args []string, out io.Writer) error {
 	quick := fs.Bool("quick", false, "reduced scale for smoke runs")
 	format := fs.String("format", "text", "output format: text|csv")
 	transportName := fs.String("transport", "inmem", "protocol transport for fig6a/fig6c: inmem|tcp")
+	withMetrics := fs.Bool("metrics", true, "append a JSON metrics snapshot to text output")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +60,11 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown transport %q", *transportName)
 	}
 	opts := experiments.Options{Seed: *seed, Quick: *quick, TCP: *transportName == "tcp"}
+	var reg *metrics.Registry
+	if *withMetrics {
+		reg = metrics.NewRegistry()
+		opts.Metrics = reg
+	}
 
 	all := []struct {
 		id  string
@@ -96,7 +109,28 @@ func run(args []string, out io.Writer) error {
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
+	// The snapshot rides along with the text rendering only: CSV output is
+	// meant to be machine-piped per experiment and must stay schema-clean.
+	if reg != nil && *format == "text" {
+		if err := writeSnapshot(out, reg); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeSnapshot appends the registry contents gathered across the run —
+// index query fan-out, transport traffic, MPC phase timers — as one JSON
+// document under a text banner.
+func writeSnapshot(out io.Writer, reg *metrics.Registry) error {
+	snap := reg.Snapshot()
+	if len(snap) == 0 {
+		return nil // nothing instrumented (e.g. compile-only experiments)
+	}
+	fmt.Fprintln(out, "== metrics snapshot ==")
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
 }
 
 func wrapFig(gen func(experiments.Options) (*experiments.Figure, error)) func(experiments.Options) (renderer, error) {

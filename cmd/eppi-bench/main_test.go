@@ -59,6 +59,54 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestSnapshotFanout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "searchcost", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "== metrics snapshot ==") {
+		t.Fatalf("no snapshot section:\n%s", s)
+	}
+	if !strings.Contains(s, `"eppi_index_query_fanout"`) {
+		t.Errorf("snapshot missing fan-out histogram:\n%s", s)
+	}
+}
+
+func TestSnapshotTransportBytes(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "fig6a", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		`"eppi_transport_bytes_total"`,
+		`"eppi_secsum_phase_seconds"`,
+		`"eppi_gmw_phase_seconds"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("snapshot missing %q", want)
+		}
+	}
+}
+
+func TestSnapshotDisabled(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "searchcost", "-quick", "-metrics=false"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "metrics snapshot") {
+		t.Error("-metrics=false still emitted a snapshot")
+	}
+	var csv bytes.Buffer
+	if err := run([]string{"-experiment", "searchcost", "-quick", "-format", "csv"}, &csv); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(csv.String(), "metrics snapshot") {
+		t.Error("csv output polluted with metrics snapshot")
+	}
+}
+
 func TestRunTableExperiment(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-experiment", "ablation-c", "-quick"}, &out); err != nil {

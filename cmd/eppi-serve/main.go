@@ -7,38 +7,53 @@
 //	eppi-serve -addr 127.0.0.1:8080 -index index.bin
 //	eppi-serve -addr 127.0.0.1:8080 -providers 50 -owners 20   # demo index
 //
-// Endpoints: GET /v1/query?owner=…, GET /v1/stats, GET /v1/healthz.
+// Endpoints: GET /v1/query?owner=…, GET /v1/stats, GET /v1/healthz, and
+// (unless -metrics=false) GET /v1/metrics in Prometheus text format.
+//
+// SIGINT/SIGTERM shut the server down gracefully: in-flight requests are
+// allowed to finish (bounded by a drain timeout) before the process exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/httpapi"
 	"repro/internal/index"
 	"repro/internal/mathx"
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
+// drainTimeout bounds how long graceful shutdown waits for in-flight
+// requests after a signal.
+const drainTimeout = 5 * time.Second
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "eppi-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("eppi-serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	indexPath := fs.String("index", "", "path to an index exported with WriteIndex (empty: build a demo index)")
 	providers := fs.Int("providers", 50, "demo index: number of providers")
 	owners := fs.Int("owners", 20, "demo index: number of owners")
 	seed := fs.Int64("seed", 1, "demo index: random seed")
+	withMetrics := fs.Bool("metrics", true, "expose GET /v1/metrics and instrument the index")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,7 +62,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	handler, err := httpapi.NewHandler(srv)
+	var opts []httpapi.Option
+	if *withMetrics {
+		opts = append(opts, httpapi.WithMetrics(metrics.NewRegistry()))
+	}
+	handler, err := httpapi.NewHandler(srv, opts...)
 	if err != nil {
 		return err
 	}
@@ -57,29 +76,33 @@ func run(args []string) error {
 	}
 	fmt.Printf("locator service on http://%s (index: %d providers, %d owners)\n",
 		listener.Addr(), srv.Providers(), srv.Owners())
-	return serve(listener, handler, nil)
+	return serve(ctx, listener, handler)
 }
 
-// serve runs the HTTP server until the listener closes or stop is
-// signalled (stop may be nil for run-forever).
-func serve(listener net.Listener, handler http.Handler, stop <-chan struct{}) error {
+// serve runs the HTTP server until the listener closes or ctx is
+// cancelled (SIGINT/SIGTERM in main). On cancellation the server drains
+// in-flight requests for up to drainTimeout before forcing connections
+// closed.
+func serve(ctx context.Context, listener net.Listener, handler http.Handler) error {
 	httpSrv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	if stop != nil {
-		done := make(chan struct{})
-		defer close(done)
-		go func() {
-			select {
-			case <-stop:
-				httpSrv.Close()
-			case <-done:
-			}
-		}()
-	}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		shutdownErr <- httpSrv.Shutdown(drainCtx)
+	}()
 	if err := httpSrv.Serve(listener); err != nil && err != http.ErrServerClosed {
 		return err
+	}
+	if ctx.Err() != nil {
+		// Shutdown path: surface a drain failure (timeout) if any.
+		if err := <-shutdownErr; err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
 	}
 	return nil
 }

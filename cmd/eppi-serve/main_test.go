@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -12,6 +16,7 @@ import (
 	"repro/internal/httpapi"
 	"repro/internal/index"
 	"repro/internal/mathx"
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -58,6 +63,32 @@ func TestLoadOrBuildFromFile(t *testing.T) {
 	}
 }
 
+// startServe launches serve() on a loopback listener and returns the base
+// URL, the cancel that triggers graceful shutdown, and the error channel.
+func startServe(t *testing.T, handler http.Handler) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	listener, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, listener, handler) }()
+	return "http://" + listener.Addr().String(), cancel, done
+}
+
+func waitServe(t *testing.T, done chan error) {
+	t.Helper()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not stop")
+	}
+}
+
 func TestServeEndToEnd(t *testing.T) {
 	srv, err := loadOrBuild("", 10, 4, 5)
 	if err != nil {
@@ -67,31 +98,102 @@ func TestServeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	listener, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	stop := make(chan struct{})
-	done := make(chan error, 1)
-	go func() { done <- serve(listener, handler, stop) }()
+	base, cancel, done := startServe(t, handler)
+	defer cancel()
 
-	client := httpapi.NewClient("http://"+listener.Addr().String(), nil)
-	hz, err := client.Healthz()
+	client := httpapi.NewClient(base, nil)
+	hz, err := client.Healthz(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hz.Providers != 10 || hz.Owners != 4 {
 		t.Fatalf("healthz = %+v", hz)
 	}
-	close(stop)
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("serve returned %v", err)
-		}
-	case <-time.After(10 * time.Second):
-		t.Fatal("serve did not stop")
+	cancel()
+	waitServe(t, done)
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	// The wiring eppi-serve sets up with -metrics (the default): a registry
+	// through WithMetrics instruments both the middleware and the index, and
+	// /v1/metrics serves the exposition.
+	srv, err := loadOrBuild("", 10, 4, 5)
+	if err != nil {
+		t.Fatal(err)
 	}
+	handler, err := httpapi.NewHandler(srv, httpapi.WithMetrics(metrics.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, cancel, done := startServe(t, handler)
+	defer cancel()
+
+	client := httpapi.NewClient(base, nil)
+	if _, err := client.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`eppi_http_requests_total{class="2xx",route="healthz"} 1`,
+		"# TYPE eppi_http_request_seconds histogram",
+		"# TYPE eppi_index_queries_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, text)
+		}
+	}
+	cancel()
+	waitServe(t, done)
+}
+
+func TestServeDrainsInflightRequests(t *testing.T) {
+	// A request in flight when the signal arrives must complete (Shutdown
+	// semantics), not be cut off as the old Close-based stop did.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		io.WriteString(w, "done")
+	})
+	base, cancel, done := startServe(t, mux)
+	defer cancel()
+
+	got := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(base + "/slow")
+		if err != nil {
+			got <- err
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err == nil && string(body) != "done" {
+			err = io.ErrUnexpectedEOF
+		}
+		got <- err
+	}()
+	<-started
+	cancel() // "signal" arrives while /slow is in flight
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-got; err != nil {
+		t.Fatalf("in-flight request failed during shutdown: %v", err)
+	}
+	waitServe(t, done)
 }
 
 func TestLoadOrBuildErrors(t *testing.T) {

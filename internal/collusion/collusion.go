@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/secretshare"
 	"repro/internal/transport"
 )
@@ -57,6 +58,12 @@ func (r *RecordingNetwork) Stats() transport.Stats { return r.inner.Stats() }
 
 // Close closes the inner network.
 func (r *RecordingNetwork) Close() error { return r.inner.Close() }
+
+// Instrument forwards to the inner network when it supports metrics.
+func (r *RecordingNetwork) Instrument(reg *metrics.Registry) { transport.Instrument(r.inner, reg) }
+
+// Metrics returns the inner network's registry, or nil.
+func (r *RecordingNetwork) Metrics() *metrics.Registry { return transport.RegistryOf(r.inner) }
 
 // Received returns copies of all messages party id received, in order.
 func (r *RecordingNetwork) Received(id int) []transport.Message {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/bitmat"
 	"repro/internal/circuit"
 	"repro/internal/mathx"
+	"repro/internal/metrics"
 	"repro/internal/transport"
 )
 
@@ -115,6 +116,10 @@ type Config struct {
 	// NewNetwork supplies the transport for ModeSecure; defaults to the
 	// in-memory transport.
 	NewNetwork func(parties int) (transport.Network, error)
+	// Metrics, when non-nil, instruments every protocol network of a
+	// ModeSecure run: per-kind transport traffic plus SecSumShare and GMW
+	// phase timers report into this registry.
+	Metrics *metrics.Registry
 }
 
 func (c Config) coinBits() int {

@@ -81,6 +81,7 @@ func constructSecure(truth *bitmat.Matrix, eps []float64, thresholds []uint64, c
 	if err != nil {
 		return nil, fmt.Errorf("provider network: %w", err)
 	}
+	transport.Instrument(provNet, cfg.Metrics)
 	sumRes, err := secsum.Run(provNet, scheme, inputs, cfg.Seed)
 	closeErr := provNet.Close()
 	if err != nil {
@@ -100,6 +101,7 @@ func constructSecure(truth *bitmat.Matrix, eps []float64, thresholds []uint64, c
 		if err != nil {
 			return nil, fmt.Errorf("coordinator network: %w", err)
 		}
+		transport.Instrument(mpcNet, cfg.Metrics)
 		var res *gmw.Result
 		if cfg.Triples == TripleOT {
 			triples, terr := gmw.GenTriplesOT(mpcNet, circ.Stats().AndGates, seed+7919)

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/metrics"
 )
 
 // Options tunes experiment scale.
@@ -32,6 +34,10 @@ type Options struct {
 	// TCP runs the protocol-execution experiments (Fig 6a/6c) over real
 	// TCP loopback sockets instead of the in-memory transport.
 	TCP bool
+	// Metrics, when non-nil, collects instrumentation across experiments:
+	// index query fan-out (SearchCost), transport traffic and MPC phase
+	// timers (Fig 6). eppi-bench embeds a snapshot of it in its output.
+	Metrics *metrics.Registry
 }
 
 // Point is one measurement.

@@ -30,11 +30,21 @@ const (
 )
 
 // netFactory returns the transport constructor for the experiment options.
+// Networks are instrumented with opts.Metrics (no-op when nil) so Fig 6
+// runs contribute transport traffic and MPC phase timers to the registry.
 func netFactory(opts Options) func(int) (transport.Network, error) {
+	mk := func(parties int) (transport.Network, error) { return transport.NewInMem(parties) }
 	if opts.TCP {
-		return func(parties int) (transport.Network, error) { return transport.NewTCP(parties) }
+		mk = func(parties int) (transport.Network, error) { return transport.NewTCP(parties) }
 	}
-	return func(parties int) (transport.Network, error) { return transport.NewInMem(parties) }
+	return func(parties int) (transport.Network, error) {
+		net, err := mk(parties)
+		if err != nil {
+			return nil, err
+		}
+		transport.Instrument(net, opts.Metrics)
+		return net, nil
+	}
 }
 
 // securePipelineTime runs the full secure ε-PPI construction over the

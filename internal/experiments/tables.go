@@ -285,14 +285,28 @@ func SearchCost(opts Options) (*TableResult, error) {
 	}
 	trueAvg := float64(d.Matrix.Count()) / float64(n)
 
-	addSystem := func(label string, published *index.Server) {
-		avg := float64(published.SearchCost()) / float64(n)
+	addSystem := func(label string, published *index.Server) error {
+		// Drive the real QueryPPI path over every owner rather than reading
+		// the aggregate SearchCost(): the sum of per-query fan-outs equals
+		// Σ_j |column j| exactly, and the instrumented path populates the
+		// fan-out histogram that eppi-bench snapshots.
+		published.Instrument(opts.Metrics)
+		total := 0
+		for _, name := range d.Names {
+			providers, err := published.Query(name)
+			if err != nil {
+				return fmt.Errorf("searchcost query %q: %w", name, err)
+			}
+			total += len(providers)
+		}
+		avg := float64(total) / float64(n)
 		table.Rows = append(table.Rows, []string{
 			label,
 			fmt.Sprintf("%.1f", avg),
 			fmt.Sprintf("%.1f", trueAvg),
 			fmt.Sprintf("%.2f", avg/trueAvg),
 		})
+		return nil
 	}
 
 	for _, epsVal := range []float64{0.2, 0.5, 0.8} {
@@ -306,7 +320,9 @@ func SearchCost(opts Options) (*TableResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		addSystem(fmt.Sprintf("ε-PPI (ε=%.1f)", epsVal), srv)
+		if err := addSystem(fmt.Sprintf("ε-PPI (ε=%.1f)", epsVal), srv); err != nil {
+			return nil, err
+		}
 	}
 	for _, groups := range []int{m / 100, m / 20, m / 4} {
 		res, err := grouping.Construct(d.Matrix, grouping.Config{Groups: groups, Variant: grouping.VariantBawa, Seed: opts.Seed + int64(groups)})
@@ -317,7 +333,9 @@ func SearchCost(opts Options) (*TableResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		addSystem(fmt.Sprintf("grouping (%d groups)", groups), srv)
+		if err := addSystem(fmt.Sprintf("grouping (%d groups)", groups), srv); err != nil {
+			return nil, err
+		}
 	}
 	return table, nil
 }

@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/metrics"
 	"repro/internal/transport"
 )
 
@@ -133,6 +135,10 @@ func runCommon(net transport.Network, circ *circuit.Circuit, inputs [][]bool, tr
 		}
 	}
 
+	// Phase timers report through the registry attached to the network, if
+	// any (transport.Instrument); nil instruments no-op.
+	tm := newTimers(transport.RegistryOf(net))
+	tm.runs.Inc()
 	before := net.Stats()
 	results := make([][]bool, n)
 	errs := make([]error, n)
@@ -145,7 +151,7 @@ func runCommon(net transport.Network, circ *circuit.Circuit, inputs [][]bool, tr
 		go func(p int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed ^ int64(p+1)*104729))
-			out, err := runParty(net.Node(p), circ, owned, inputs[p], triples[p], rng)
+			out, err := runParty(net.Node(p), circ, owned, inputs[p], triples[p], rng, tm)
 			if err != nil {
 				errs[p] = fmt.Errorf("party %d: %w", p, err)
 				failOnce.Do(func() { net.Close() })
@@ -176,6 +182,7 @@ func runCommon(net transport.Network, circ *circuit.Circuit, inputs [][]bool, tr
 		}
 	}
 	after := net.Stats()
+	tm.rounds.Add(uint64(2 + len(circ.AndRounds())))
 	return &Result{
 		Outputs: results[0],
 		Rounds:  2 + len(circ.AndRounds()),
@@ -186,8 +193,30 @@ func runCommon(net transport.Network, circ *circuit.Circuit, inputs [][]bool, tr
 	}, nil
 }
 
+// timers groups the per-phase instruments of one Run. All-nil (no registry
+// on the network) no-ops.
+type timers struct {
+	runs      *metrics.Counter
+	rounds    *metrics.Counter
+	inputs    *metrics.Histogram
+	andRounds *metrics.Histogram
+	outputs   *metrics.Histogram
+}
+
+func newTimers(reg *metrics.Registry) *timers {
+	const name = "eppi_gmw_phase_seconds"
+	const help = "Per-party wall time of each GMW protocol phase."
+	return &timers{
+		runs:      reg.Counter("eppi_gmw_runs_total", "GMW protocol executions."),
+		rounds:    reg.Counter("eppi_gmw_rounds_total", "Sequential communication rounds across all GMW runs."),
+		inputs:    reg.Histogram(name, help, metrics.DefDurationBuckets, metrics.L("phase", "input_share")),
+		andRounds: reg.Histogram(name, help, metrics.DefDurationBuckets, metrics.L("phase", "and_rounds")),
+		outputs:   reg.Histogram(name, help, metrics.DefDurationBuckets, metrics.L("phase", "output")),
+	}
+}
+
 // runParty executes one party's role and returns the reconstructed outputs.
-func runParty(node transport.Node, circ *circuit.Circuit, owned [][]int, myInputs []bool, triples PartyTriples, rng *rand.Rand) ([]bool, error) {
+func runParty(node transport.Node, circ *circuit.Circuit, owned [][]int, myInputs []bool, triples PartyTriples, rng *rand.Rand, tm *timers) ([]bool, error) {
 	n := node.Size()
 	id := node.ID()
 	coll := transport.NewCollector(node)
@@ -195,6 +224,7 @@ func runParty(node transport.Node, circ *circuit.Circuit, owned [][]int, myInput
 	circInputs := circ.Inputs()
 	gates := circ.Gates()
 
+	phaseStart := time.Now()
 	// --- Round 1: input sharing -------------------------------------------
 	// For each owned wire, sample one share per party; keep ours, send the
 	// rest. Message to party q: packed bits of q's shares of our wires (in
@@ -246,6 +276,9 @@ func runParty(node transport.Node, circ *circuit.Circuit, owned [][]int, myInput
 			shares[circInputs[wireIdx].Wire] = bits[i]
 		}
 	}
+
+	tm.inputs.ObserveSince(phaseStart)
+	phaseStart = time.Now()
 
 	// --- Rounds 2..: layered evaluation ------------------------------------
 	evalLocal := func(gi int) {
@@ -319,6 +352,9 @@ func runParty(node transport.Node, circ *circuit.Circuit, owned [][]int, myInput
 	for _, gi := range localRounds[len(andRounds)] {
 		evalLocal(gi)
 	}
+	tm.andRounds.ObserveSince(phaseStart)
+	phaseStart = time.Now()
+	defer tm.outputs.ObserveSince(phaseStart)
 
 	// --- Final round: output reconstruction --------------------------------
 	outWires := circ.Outputs()

@@ -6,44 +6,111 @@
 //	GET /v1/query?owner=<identity>   → {"owner": ..., "providers": [ids]}
 //	GET /v1/stats                    → {"queries": n, "avgFanout": f}
 //	GET /v1/healthz                  → {"status": "ok", "providers": m, "owners": n}
+//	GET /v1/metrics                  → Prometheus text exposition (when enabled)
 //
 // AuthSearch is intentionally absent: the second search phase happens at
 // the providers, never at the untrusted host.
+//
+// With WithMetrics, every route is wrapped in middleware that records
+// per-route latency histograms and status-class counters, and the wrapped
+// index server reports query counters and the fan-out histogram into the
+// same registry.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
+	"time"
 
 	"repro/internal/index"
+	"repro/internal/metrics"
 )
 
 // Handler serves the locator API over an index server.
 type Handler struct {
 	server *index.Server
 	mux    *http.ServeMux
+	reg    *metrics.Registry
 }
 
 var _ http.Handler = (*Handler)(nil)
 
+// Option configures a Handler.
+type Option func(*Handler)
+
+// WithMetrics instruments the handler (per-route latency and status-class
+// counters), exposes GET /v1/metrics, and wires the index server's query
+// counters into the same registry. A nil registry disables all of it.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(h *Handler) { h.reg = reg }
+}
+
 // NewHandler wraps srv.
-func NewHandler(srv *index.Server) (*Handler, error) {
+func NewHandler(srv *index.Server, opts ...Option) (*Handler, error) {
 	if srv == nil {
 		return nil, errors.New("httpapi: nil index server")
 	}
 	h := &Handler{server: srv, mux: http.NewServeMux()}
-	h.mux.HandleFunc("GET /v1/query", h.handleQuery)
-	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
-	h.mux.HandleFunc("GET /v1/healthz", h.handleHealthz)
+	for _, opt := range opts {
+		opt(h)
+	}
+	if h.reg != nil {
+		srv.Instrument(h.reg)
+		h.mux.HandleFunc("GET /v1/metrics", h.instrument("metrics", h.handleMetrics))
+	}
+	h.mux.HandleFunc("GET /v1/query", h.instrument("query", h.handleQuery))
+	h.mux.HandleFunc("GET /v1/stats", h.instrument("stats", h.handleStats))
+	h.mux.HandleFunc("GET /v1/healthz", h.instrument("healthz", h.handleHealthz))
 	return h, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(w, r)
+}
+
+// statusClasses are the exposition label values for response codes.
+var statusClasses = [6]string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// instrument wraps a route handler with latency and status-class
+// accounting. Without a registry the handler is returned untouched — the
+// uninstrumented hot path pays nothing.
+func (h *Handler) instrument(route string, fn http.HandlerFunc) http.HandlerFunc {
+	if h.reg == nil {
+		return fn
+	}
+	routeLabel := metrics.L("route", route)
+	latency := h.reg.Histogram("eppi_http_request_seconds",
+		"HTTP request latency by route.", metrics.DefDurationBuckets, routeLabel)
+	classes := make(map[string]*metrics.Counter, 4)
+	for _, class := range statusClasses[1:] {
+		classes[class] = h.reg.Counter("eppi_http_requests_total",
+			"HTTP requests by route and status class.", routeLabel, metrics.L("class", class))
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		fn(sw, r)
+		latency.ObserveSince(start)
+		if cls := sw.code / 100; cls >= 1 && cls <= 5 {
+			classes[statusClasses[cls]].Inc()
+		}
+	}
+}
+
+// statusWriter captures the response code for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // QueryResponse is the /v1/query payload.
@@ -104,6 +171,13 @@ func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	// Write errors mean the client went away mid-scrape; nothing to do.
+	_, _ = h.reg.WriteTo(w)
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -111,6 +185,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	// the caller's middleware; the payloads here are in-memory structs.
 	_ = json.NewEncoder(w).Encode(v)
 }
+
+// DefaultTimeout bounds client calls when the caller supplies no
+// *http.Client: a hung locator must not hang every searcher.
+const DefaultTimeout = 10 * time.Second
 
 // Client is a typed client for the locator API, used by remote searchers
 // for the first phase of the two-phase search.
@@ -120,10 +198,12 @@ type Client struct {
 }
 
 // NewClient returns a client for the service at base URL (e.g.
-// "http://127.0.0.1:8080"). httpClient may be nil for http.DefaultClient.
+// "http://127.0.0.1:8080"). httpClient may be nil for a default client
+// with DefaultTimeout; per-call deadlines tighter than that come from the
+// caller's context.
 func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = &http.Client{Timeout: DefaultTimeout}
 	}
 	return &Client{base: base, http: httpClient}
 }
@@ -131,10 +211,19 @@ func NewClient(base string, httpClient *http.Client) *Client {
 // ErrOwnerNotFound reports a 404 from /v1/query.
 var ErrOwnerNotFound = errors.New("httpapi: owner not found")
 
-// Query runs QueryPPI remotely.
-func (c *Client) Query(owner string) ([]int, error) {
-	u := fmt.Sprintf("%s/v1/query?owner=%s", c.base, urlQueryEscape(owner))
-	resp, err := c.http.Get(u)
+// get issues a context-bound GET and returns the response.
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.http.Do(req)
+}
+
+// Query runs QueryPPI remotely. The context bounds the round-trip
+// (cancellation and deadline).
+func (c *Client) Query(ctx context.Context, owner string) ([]int, error) {
+	resp, err := c.get(ctx, "/v1/query?owner="+url.QueryEscape(owner))
 	if err != nil {
 		return nil, fmt.Errorf("httpapi: query: %w", err)
 	}
@@ -156,8 +245,8 @@ func (c *Client) Query(owner string) ([]int, error) {
 }
 
 // Stats fetches the service's load counters.
-func (c *Client) Stats() (StatsResponse, error) {
-	resp, err := c.http.Get(c.base + "/v1/stats")
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	resp, err := c.get(ctx, "/v1/stats")
 	if err != nil {
 		return StatsResponse{}, fmt.Errorf("httpapi: stats: %w", err)
 	}
@@ -170,8 +259,8 @@ func (c *Client) Stats() (StatsResponse, error) {
 }
 
 // Healthz checks service liveness.
-func (c *Client) Healthz() (HealthzResponse, error) {
-	resp, err := c.http.Get(c.base + "/v1/healthz")
+func (c *Client) Healthz(ctx context.Context) (HealthzResponse, error) {
+	resp, err := c.get(ctx, "/v1/healthz")
 	if err != nil {
 		return HealthzResponse{}, fmt.Errorf("httpapi: healthz: %w", err)
 	}
@@ -181,9 +270,4 @@ func (c *Client) Healthz() (HealthzResponse, error) {
 		return HealthzResponse{}, fmt.Errorf("httpapi: decode healthz: %w", err)
 	}
 	return hr, nil
-}
-
-// urlQueryEscape escapes an owner identity for a query-string value.
-func urlQueryEscape(s string) string {
-	return url.QueryEscape(s)
 }

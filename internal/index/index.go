@@ -7,23 +7,60 @@ package index
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitmat"
+	"repro/internal/metrics"
 )
 
 // ErrUnknownOwner reports a query for an owner absent from the index.
 var ErrUnknownOwner = errors.New("index: unknown owner identity")
 
 // Server is the PPI server state. It is safe for concurrent queries.
+// Load counters are lock-free (sync/atomic) so concurrent QueryColumn
+// calls never contend.
 type Server struct {
 	published *bitmat.Matrix
 	names     []string
 	byName    map[string]int
 
-	mu      sync.Mutex
-	queries uint64
-	fanout  uint64 // cumulative result-list length (search cost)
+	queries atomic.Uint64
+	fanout  atomic.Uint64 // cumulative result-list length (search cost)
+	unknown atomic.Uint64 // queries for owners absent from the index
+
+	// inst mirrors the counters into a shared registry once Instrument is
+	// called; nil before that (and every instrument method no-ops on nil).
+	inst atomic.Pointer[instruments]
+}
+
+// instruments are the registry-backed mirrors of the server's counters.
+type instruments struct {
+	queries *metrics.Counter
+	unknown *metrics.Counter
+	fanout  *metrics.Histogram
+}
+
+// FanoutBuckets are the histogram bucket bounds for per-query fan-out
+// (result-list length): powers of two up to 4096 providers.
+var FanoutBuckets = metrics.ExponentialBuckets(1, 2, 13)
+
+// Instrument mirrors query counters into reg:
+//
+//	eppi_index_queries_total        QueryPPI calls served
+//	eppi_index_unknown_owner_total  queries for absent owners
+//	eppi_index_query_fanout         per-query result-list length (search cost)
+//
+// Fan-out is the paper's per-query search cost: the number of AuthSearch
+// probes a searcher pays, noise included.
+func (s *Server) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.inst.Store(&instruments{
+		queries: reg.Counter("eppi_index_queries_total", "QueryPPI calls served."),
+		unknown: reg.Counter("eppi_index_unknown_owner_total", "Queries for owner identities absent from the index."),
+		fanout:  reg.Histogram("eppi_index_query_fanout", "Per-query result-list length (the paper's search cost).", FanoutBuckets),
+	})
 }
 
 // NewServer builds a server over the published matrix. names[j] labels
@@ -63,6 +100,10 @@ func (s *Server) Names() []string {
 func (s *Server) Query(owner string) ([]int, error) {
 	j, ok := s.byName[owner]
 	if !ok {
+		s.unknown.Add(1)
+		if in := s.inst.Load(); in != nil {
+			in.unknown.Inc()
+		}
 		return nil, fmt.Errorf("%w: %q", ErrUnknownOwner, owner)
 	}
 	return s.QueryColumn(j), nil
@@ -71,10 +112,12 @@ func (s *Server) Query(owner string) ([]int, error) {
 // QueryColumn is Query by column number.
 func (s *Server) QueryColumn(j int) []int {
 	result := s.published.ColOnes(j)
-	s.mu.Lock()
-	s.queries++
-	s.fanout += uint64(len(result))
-	s.mu.Unlock()
+	s.queries.Add(1)
+	s.fanout.Add(uint64(len(result)))
+	if in := s.inst.Load(); in != nil {
+		in.queries.Inc()
+		in.fanout.Observe(float64(len(result)))
+	}
 	return result
 }
 
@@ -89,11 +132,13 @@ type Stats struct {
 
 // Stats returns a snapshot of server load.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := Stats{Queries: s.queries}
-	if s.queries > 0 {
-		st.AvgFanout = float64(s.fanout) / float64(s.queries)
+	// Two independent atomic loads: under concurrent traffic the pair may
+	// straddle an in-flight query, exactly like the old mutex snapshot
+	// taken an instant earlier or later — the semantics are unchanged.
+	queries := s.queries.Load()
+	st := Stats{Queries: queries}
+	if queries > 0 {
+		st.AvgFanout = float64(s.fanout.Load()) / float64(queries)
 	}
 	return st
 }

@@ -2,10 +2,12 @@ package index
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 
 	"repro/internal/bitmat"
+	"repro/internal/metrics"
 )
 
 func sampleServer(t *testing.T) *Server {
@@ -125,4 +127,96 @@ func TestConcurrentQueries(t *testing.T) {
 	if st := s.Stats(); st.Queries != 2000 {
 		t.Fatalf("Queries = %d, want 2000", st.Queries)
 	}
+}
+
+func TestInstrument(t *testing.T) {
+	s := sampleServer(t)
+	reg := metrics.NewRegistry()
+	s.Instrument(reg)
+	if _, err := s.Query("alice"); err != nil { // fanout 2
+		t.Fatal(err)
+	}
+	if _, err := s.Query("bob"); err != nil { // fanout 1
+		t.Fatal(err)
+	}
+	if _, err := s.Query("mallory"); err == nil {
+		t.Fatal("unknown owner accepted")
+	}
+	if got := reg.Counter("eppi_index_queries_total", "").Value(); got != 2 {
+		t.Fatalf("queries_total = %d, want 2", got)
+	}
+	if got := reg.Counter("eppi_index_unknown_owner_total", "").Value(); got != 1 {
+		t.Fatalf("unknown_owner_total = %d, want 1", got)
+	}
+	h := reg.Histogram("eppi_index_query_fanout", "", nil)
+	if h.Count() != 2 || h.Sum() != 3 {
+		t.Fatalf("fanout histogram count=%d sum=%v, want 2/3", h.Count(), h.Sum())
+	}
+	// Registry and Stats() must agree.
+	if st := s.Stats(); st.Queries != 2 || st.AvgFanout != 1.5 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+// BenchmarkQueryColumn measures the hot QueryPPI path. The counters were
+// converted from a mutex to sync/atomic; the parallel variant is the one
+// the mutex used to serialize.
+func BenchmarkQueryColumn(b *testing.B) {
+	s := benchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.QueryColumn(i % s.Owners())
+	}
+}
+
+func BenchmarkQueryColumnParallel(b *testing.B) {
+	s := benchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		j := 0
+		for pb.Next() {
+			s.QueryColumn(j % s.Owners())
+			j++
+		}
+	})
+}
+
+// BenchmarkQueryColumnInstrumented shows the marginal cost of a live
+// metrics registry on the hot path.
+func BenchmarkQueryColumnInstrumented(b *testing.B) {
+	s := benchServer(b)
+	s.Instrument(metrics.NewRegistry())
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		j := 0
+		for pb.Next() {
+			s.QueryColumn(j % s.Owners())
+			j++
+		}
+	})
+}
+
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	const m, n = 256, 64
+	mat := bitmat.MustNew(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if (i+j)%7 == 0 {
+				mat.Set(i, j, true)
+			}
+		}
+	}
+	names := make([]string, n)
+	for j := range names {
+		names[j] = fmt.Sprintf("owner-%03d", j)
+	}
+	s, err := NewServer(mat, names)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
 }

@@ -1,0 +1,363 @@
+// Package metrics is a dependency-free observability substrate for the
+// ε-PPI serving stack: counters, gauges and fixed-bucket histograms backed
+// by sync/atomic, collected in a Registry that can render itself in the
+// Prometheus text exposition format (WriteTo) or as a JSON-friendly
+// snapshot (Snapshot).
+//
+// The package instruments the paper's own cost model: QueryPPI fan-out
+// (search cost, Fig. 5), AuthSearch false-positive overhead (the live
+// 1−ε confidence bound), and SecSumShare / CountBelow communication
+// volume and rounds (Fig. 6). Every later scaling PR reports through it.
+//
+// Design constraints:
+//
+//   - zero dependencies beyond the standard library;
+//   - hot-path operations (Counter.Inc, Histogram.Observe) are single
+//     atomic RMWs — no locks, safe under arbitrary concurrency;
+//   - every instrument is nil-safe: methods on a nil *Counter, *Gauge,
+//     *Histogram or *Registry are no-ops, so components can carry
+//     optional instrumentation without branching at every call site.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates instrument families.
+type Kind uint8
+
+// Instrument kinds.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Label is one name/value dimension of a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; a nil *Counter no-ops.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable value. The zero value is ready to use; a nil *Gauge
+// no-ops.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by d (d may be negative).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with cumulative exposition. Bucket
+// boundaries are upper bounds; an implicit +Inf bucket catches the rest.
+// A nil *Histogram no-ops.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Buckets are few (tens); linear scan beats binary search at this size
+	// and keeps the hot path branch-predictable.
+	placed := false
+	for i, ub := range h.upper {
+		if v <= ub {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// DefDurationBuckets are the default latency buckets, in seconds
+// (100µs … 10s). They cover both local in-memory probes and TCP
+// round-trips.
+var DefDurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// ExponentialBuckets returns n bucket upper bounds starting at start and
+// multiplying by factor. It panics on invalid parameters (programmer
+// error, caught at wiring time).
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: bad exponential buckets start=%g factor=%g n=%d", start, factor, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// series is one registered instrument plus its identity.
+type series struct {
+	name   string
+	labels []Label // sorted by key
+	kind   Kind
+	help   string
+	upper  []float64 // histogram bucket bounds
+
+	counter   *Counter
+	gauge     *Gauge
+	histogram *Histogram
+}
+
+// Registry holds named instruments. Get-or-create accessors (Counter,
+// Gauge, Histogram) are idempotent: the same (name, labels) always returns
+// the same instrument. Re-registering a name with a different kind or
+// bucket layout panics — that is a wiring bug, not a runtime condition.
+// A nil *Registry returns nil instruments, which no-op.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series // keyed by name + label signature
+	kinds  map[string]Kind    // family name → kind
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		series: make(map[string]*series),
+		kinds:  make(map[string]Kind),
+	}
+}
+
+// Counter returns the counter registered under (name, labels), creating it
+// on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, help, KindCounter, nil, labels)
+	return s.counter
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, help, KindGauge, nil, labels)
+	return s.gauge
+}
+
+// Histogram returns the histogram registered under (name, labels),
+// creating it on first use with the given bucket upper bounds (sorted,
+// +Inf implicit). Buckets are fixed at first registration; later calls may
+// pass nil to mean "whatever was registered".
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, help, KindHistogram, buckets, labels)
+	return s.histogram
+}
+
+func (r *Registry) lookup(name, help string, kind Kind, buckets []float64, labels []Label) *series {
+	if name == "" {
+		panic("metrics: empty metric name")
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	key := seriesKey(name, sorted)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.kinds[name]; ok && prev != kind {
+		panic(fmt.Sprintf("metrics: %q registered as %v, requested as %v", name, prev, kind))
+	}
+	if s, ok := r.series[key]; ok {
+		if kind == KindHistogram && buckets != nil && !sameBuckets(buckets, s.upper) {
+			panic(fmt.Sprintf("metrics: %q re-registered with different buckets", name))
+		}
+		return s
+	}
+	s := &series{name: name, labels: sorted, kind: kind, help: help}
+	switch kind {
+	case KindCounter:
+		s.counter = &Counter{}
+	case KindGauge:
+		s.gauge = &Gauge{}
+	case KindHistogram:
+		ub := buckets
+		if ub == nil {
+			ub = DefDurationBuckets
+		}
+		ub = append([]float64(nil), ub...)
+		sort.Float64s(ub)
+		s.upper = ub
+		s.histogram = &Histogram{upper: ub, counts: make([]atomic.Uint64, len(ub))}
+	default:
+		panic(fmt.Sprintf("metrics: bad kind %v", kind))
+	}
+	r.kinds[name] = kind
+	r.series[key] = s
+	return s
+}
+
+func sameBuckets(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sorted := append([]float64(nil), a...)
+	sort.Float64s(sorted)
+	for i := range sorted {
+		if sorted[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func seriesKey(name string, sorted []Label) string {
+	var sb strings.Builder
+	sb.WriteString(name)
+	for _, l := range sorted {
+		sb.WriteByte(0)
+		sb.WriteString(l.Key)
+		sb.WriteByte(0)
+		sb.WriteString(l.Value)
+	}
+	return sb.String()
+}
+
+// snapshotSeries returns all series sorted by (name, label signature) for
+// deterministic exposition.
+func (r *Registry) snapshotSeries() []*series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return seriesKey("", out[i].labels) < seriesKey("", out[j].labels)
+	})
+	return out
+}

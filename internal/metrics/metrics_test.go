@@ -1,0 +1,243 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests served")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("requests_total", "requests served"); again != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+
+	g := r.Gauge("temperature", "")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Fatalf("gauge = %v, want 1.0", got)
+	}
+}
+
+func TestLabelsSeparateSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits_total", "h", L("route", "query"))
+	b := r.Counter("hits_total", "h", L("route", "stats"))
+	if a == b {
+		t.Fatal("different labels shared a series")
+	}
+	// Label order must not matter.
+	x := r.Counter("multi_total", "h", L("a", "1"), L("b", "2"))
+	y := r.Counter("multi_total", "h", L("b", "2"), L("a", "1"))
+	if x != y {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sizes", "payload sizes", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 7, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 111.5 {
+		t.Fatalf("sum = %v, want 111.5", h.Sum())
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`sizes_bucket{le="1"} 2`,
+		`sizes_bucket{le="5"} 3`,
+		`sizes_bucket{le="10"} 4`,
+		`sizes_bucket{le="+Inf"} 5`,
+		`sizes_sum 111.5`,
+		`sizes_count 5`,
+		"# TYPE sizes histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteToFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "second family").Add(2)
+	r.Counter("a_total", "first family", L("k", `va"l\ue`)).Inc()
+	r.Gauge("g", "a gauge").Set(0.25)
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Families in sorted order, HELP before TYPE before samples.
+	ia, ib := strings.Index(out, "# TYPE a_total"), strings.Index(out, "# TYPE b_total")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("families out of order:\n%s", out)
+	}
+	if !strings.Contains(out, `a_total{k="va\"l\\ue"} 1`) {
+		t.Errorf("label escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "g 0.25") {
+		t.Errorf("gauge sample missing:\n%s", out)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c", L("x", "1")).Add(7)
+	h := r.Histogram("lat", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+	snap := r.Snapshot()
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Metric
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("snapshot has %d metrics, want 2", len(back))
+	}
+	if back[0].Name != "c_total" || back[0].Value != 7 || back[0].Labels["x"] != "1" {
+		t.Fatalf("counter snapshot = %+v", back[0])
+	}
+	histo := back[1]
+	if histo.Count != 2 || len(histo.Buckets) != 3 || histo.Buckets[2].Le != "+Inf" || histo.Buckets[2].Count != 2 {
+		t.Fatalf("histogram snapshot = %+v", histo)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned live instruments")
+	}
+	// All of these must be no-ops, not panics.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments reported values")
+	}
+	if _, err := r.WriteTo(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if snap := r.Snapshot(); len(snap) != 0 {
+		t.Fatalf("nil registry snapshot = %v", snap)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("dual", "")
+}
+
+func TestBucketConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", "", []float64{1, 2})
+	if h := r.Histogram("h", "", nil); h == nil {
+		t.Fatal("nil buckets should mean 'whatever was registered'")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with different buckets did not panic")
+		}
+	}()
+	r.Histogram("h", "", []float64{1, 3})
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestConcurrent hammers one registry from many goroutines; run with
+// -race this is the core safety claim of the package.
+func TestConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("conc_total", "c").Inc()
+				r.Gauge("conc_gauge", "g").Add(1)
+				r.Histogram("conc_hist", "h", []float64{1, 10, 100}).Observe(float64(i % 200))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "c").Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("conc_gauge", "g").Value(); got != workers*iters {
+		t.Fatalf("gauge = %v, want %d", got, workers*iters)
+	}
+	h := r.Histogram("conc_hist", "h", nil)
+	if h.Count() != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	if math.IsNaN(h.Sum()) {
+		t.Fatal("histogram sum is NaN")
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_hist", "", DefDurationBuckets)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.003)
+		}
+	})
+}

@@ -8,8 +8,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/provider"
 )
 
@@ -21,6 +24,42 @@ type Searcher struct {
 	id        string
 	server    *index.Server
 	providers []*provider.Provider
+
+	// inst mirrors search outcomes into a registry once Instrument is
+	// called; nil before that.
+	inst atomic.Pointer[instruments]
+}
+
+// instruments are the registry-backed search-outcome counters. The
+// true/false-positive counters are the live estimate of the paper's
+// Fig. 5/6 quantities: fp/(tp+fp) is the observed false-positive rate, the
+// empirical counterpart of the 1−ε attacker-confidence bound.
+type instruments struct {
+	searches  *metrics.Counter
+	truePos   *metrics.Counter
+	falsePos  *metrics.Counter
+	denied    *metrics.Counter
+	probeTime *metrics.Histogram
+}
+
+// Instrument mirrors search-outcome counters into reg:
+//
+//	eppi_searcher_searches_total        two-phase searches run
+//	eppi_searcher_true_positive_total   contacted providers that held records
+//	eppi_searcher_false_positive_total  contacted providers that were noise
+//	eppi_searcher_denied_total          providers that refused authorization
+//	eppi_searcher_probe_seconds         per-provider AuthSearch latency
+func (s *Searcher) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.inst.Store(&instruments{
+		searches:  reg.Counter("eppi_searcher_searches_total", "Two-phase searches run."),
+		truePos:   reg.Counter("eppi_searcher_true_positive_total", "AuthSearch probes that found records."),
+		falsePos:  reg.Counter("eppi_searcher_false_positive_total", "AuthSearch probes that hit index noise (the privacy overhead)."),
+		denied:    reg.Counter("eppi_searcher_denied_total", "AuthSearch probes refused by provider ACLs."),
+		probeTime: reg.Histogram("eppi_searcher_probe_seconds", "Per-provider AuthSearch probe latency.", metrics.DefDurationBuckets),
+	})
 }
 
 // New creates a searcher. providers[i] must be the provider with network
@@ -66,9 +105,13 @@ const searchConcurrency = 16
 // collects whatever the ACLs allow, as a real federated search must.
 // Results are deterministic: records are ordered by provider id.
 func (s *Searcher) Search(owner string) (*Result, error) {
+	in := s.inst.Load()
 	candidates, err := s.server.Query(owner)
 	if err != nil {
 		return nil, fmt.Errorf("QueryPPI: %w", err)
+	}
+	if in != nil {
+		in.searches.Inc()
 	}
 	type probe struct {
 		pid  int
@@ -84,7 +127,11 @@ func (s *Searcher) Search(owner string) (*Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			start := time.Now()
 			recs, err := s.providers[pid].AuthSearch(s.id, owner)
+			if in != nil {
+				in.probeTime.ObserveSince(start)
+			}
 			probes[i] = probe{pid: pid, recs: recs, err: err}
 		}(i, pid)
 	}
@@ -106,6 +153,11 @@ func (s *Searcher) Search(owner string) (*Result, error) {
 		}
 		res.TruePositives++
 		res.Records = append(res.Records, p.recs...)
+	}
+	if in != nil {
+		in.truePos.Add(uint64(res.TruePositives))
+		in.falsePos.Add(uint64(res.FalsePositives))
+		in.denied.Add(uint64(res.Denied))
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bitmat"
 	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/provider"
 )
 
@@ -110,5 +111,46 @@ func TestFalsePositiveRateEmpty(t *testing.T) {
 	r := &Result{}
 	if r.ObservedFalsePositiveRate() != 0 {
 		t.Fatal("empty result fp rate != 0")
+	}
+}
+
+// TestInstrument checks the searcher's live ε-estimate counters: with one
+// noise column bit, a search yields 2 true positives and 1 false positive,
+// so fp/(tp+fp) — the observed false-positive rate bounding attacker
+// confidence at 1−fp — must match Result.ObservedFalsePositiveRate.
+func TestInstrument(t *testing.T) {
+	server, providers := buildSystem(t)
+	for _, p := range providers[:3] {
+		p.Grant("dr")
+	}
+	// Provider 3 (the noise provider) denies: exercises the denied counter.
+	s, err := New("dr", server, providers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	s.Instrument(reg)
+	res, err := s.Search("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("eppi_searcher_searches_total", "").Value(); got != 1 {
+		t.Fatalf("searches_total = %d, want 1", got)
+	}
+	if got := reg.Counter("eppi_searcher_true_positive_total", "").Value(); got != uint64(res.TruePositives) {
+		t.Fatalf("true_positive_total = %d, want %d", got, res.TruePositives)
+	}
+	if got := reg.Counter("eppi_searcher_false_positive_total", "").Value(); got != uint64(res.FalsePositives) {
+		t.Fatalf("false_positive_total = %d, want %d", got, res.FalsePositives)
+	}
+	if got := reg.Counter("eppi_searcher_denied_total", "").Value(); got != uint64(res.Denied) {
+		t.Fatalf("denied_total = %d, want %d", got, res.Denied)
+	}
+	if res.Denied != 1 {
+		t.Fatalf("Denied = %d, want 1 (ungranted noise provider)", res.Denied)
+	}
+	h := reg.Histogram("eppi_searcher_probe_seconds", "", nil)
+	if h.Count() != uint64(res.Contacted) {
+		t.Fatalf("probe observations = %d, want %d", h.Count(), res.Contacted)
 	}
 }

@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/secretshare"
 	"repro/internal/transport"
 )
@@ -70,6 +72,11 @@ func Run(net transport.Network, scheme secretshare.Scheme, inputs [][]uint64, se
 		}
 	}
 
+	// Phase timers report through whatever registry the caller attached to
+	// the network (transport.Instrument); with no registry every instrument
+	// is a nil no-op.
+	tm := newTimers(transport.RegistryOf(net))
+	tm.runs.Inc()
 	before := net.Stats()
 	coordShares := make([][]uint64, c)
 	errs := make([]error, m)
@@ -83,7 +90,7 @@ func Run(net transport.Network, scheme secretshare.Scheme, inputs [][]uint64, se
 		go func(i int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(i)*7919))
-			shares, err := runProvider(net.Node(i), scheme, inputs[i], rng)
+			shares, err := runProvider(net.Node(i), scheme, inputs[i], rng, tm)
 			if err != nil {
 				errs[i] = fmt.Errorf("provider %d: %w", i, err)
 				failOnce.Do(func() { net.Close() })
@@ -110,6 +117,7 @@ func Run(net transport.Network, scheme secretshare.Scheme, inputs [][]uint64, se
 		return nil, firstErr
 	}
 	after := net.Stats()
+	tm.rounds.Add(2)
 	return &Result{
 		CoordinatorShares: coordShares,
 		Rounds:            2,
@@ -120,15 +128,38 @@ func Run(net transport.Network, scheme secretshare.Scheme, inputs [][]uint64, se
 	}, nil
 }
 
+// timers groups the per-phase instruments of one Run. The zero value (all
+// nil) no-ops, so uninstrumented networks cost nothing but the time reads.
+type timers struct {
+	runs       *metrics.Counter
+	rounds     *metrics.Counter
+	distribute *metrics.Histogram
+	aggregate  *metrics.Histogram
+	coordinate *metrics.Histogram
+}
+
+func newTimers(reg *metrics.Registry) *timers {
+	const name = "eppi_secsum_phase_seconds"
+	const help = "Per-provider wall time of each SecSumShare phase."
+	return &timers{
+		runs:       reg.Counter("eppi_secsum_runs_total", "SecSumShare protocol executions."),
+		rounds:     reg.Counter("eppi_secsum_rounds_total", "Sequential communication rounds across all SecSumShare runs."),
+		distribute: reg.Histogram(name, help, metrics.DefDurationBuckets, metrics.L("phase", "distribute")),
+		aggregate:  reg.Histogram(name, help, metrics.DefDurationBuckets, metrics.L("phase", "aggregate")),
+		coordinate: reg.Histogram(name, help, metrics.DefDurationBuckets, metrics.L("phase", "coordinate")),
+	}
+}
+
 // runProvider executes one provider's role. Coordinators (id < c) return
 // their aggregated share vector; other providers return nil.
-func runProvider(node transport.Node, scheme secretshare.Scheme, input []uint64, rng *rand.Rand) ([]uint64, error) {
+func runProvider(node transport.Node, scheme secretshare.Scheme, input []uint64, rng *rand.Rand, tm *timers) ([]uint64, error) {
 	m := node.Size()
 	c := scheme.Shares()
 	f := scheme.Field()
 	numIDs := len(input)
 	id := node.ID()
 
+	phaseStart := time.Now()
 	// Step 1: generate shares. perDest[k][j] is the k-th share of input[j],
 	// destined for successor (id+k) mod m; k=0 stays local.
 	perDest := make([][]uint64, c)
@@ -150,6 +181,9 @@ func runProvider(node transport.Node, scheme secretshare.Scheme, input []uint64,
 			return nil, fmt.Errorf("send share %d: %w", k, err)
 		}
 	}
+
+	tm.distribute.ObserveSince(phaseStart)
+	phaseStart = time.Now()
 
 	// Step 3: receive c-1 share vectors from predecessors and fold them,
 	// together with the locally kept k=0 share, into the super-share.
@@ -179,10 +213,13 @@ func runProvider(node transport.Node, scheme secretshare.Scheme, input []uint64,
 	if err := node.Send(coordID, msg); err != nil {
 		return nil, fmt.Errorf("send super-share: %w", err)
 	}
+	tm.aggregate.ObserveSince(phaseStart)
 
 	if id >= c {
 		return nil, nil
 	}
+	phaseStart = time.Now()
+	defer tm.coordinate.ObserveSince(phaseStart)
 
 	// Coordinator role: gather super-shares from every provider p with
 	// p mod c == id (including our own, sent above) and sum them.

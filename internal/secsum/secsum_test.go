@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/field"
+	"repro/internal/metrics"
 	"repro/internal/secretshare"
 	"repro/internal/transport"
 )
@@ -311,5 +312,45 @@ func BenchmarkSecSumShare100x64(b *testing.B) {
 			b.Fatal(err)
 		}
 		net.Close()
+	}
+}
+
+// TestMetricsWiring checks that Run reports phase timers and traffic
+// through a registry attached to the network with transport.Instrument.
+func TestMetricsWiring(t *testing.T) {
+	s := scheme(t, 65537, 3)
+	inputs := [][]uint64{{1, 0}, {0, 1}, {1, 1}, {0, 0}}
+	net, err := transport.NewInMem(len(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	reg := metrics.NewRegistry()
+	transport.Instrument(net, reg)
+	res, err := Run(net, s, inputs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("eppi_secsum_runs_total", "").Value(); got != 1 {
+		t.Fatalf("runs_total = %d, want 1", got)
+	}
+	if got := reg.Counter("eppi_secsum_rounds_total", "").Value(); got != 2 {
+		t.Fatalf("rounds_total = %d, want 2", got)
+	}
+	for _, phase := range []string{"distribute", "aggregate", "coordinate"} {
+		h := reg.Histogram("eppi_secsum_phase_seconds", "", nil, metrics.L("phase", phase))
+		want := uint64(len(inputs))
+		if phase == "coordinate" {
+			want = 3 // only the c coordinators gather
+		}
+		if h.Count() != want {
+			t.Errorf("phase %q observed %d times, want %d", phase, h.Count(), want)
+		}
+	}
+	if got := reg.Counter("eppi_transport_messages_total", "").Value(); got != res.Stats.Messages {
+		t.Fatalf("registry saw %d messages, Stats %d", got, res.Stats.Messages)
+	}
+	if got := reg.Counter("eppi_transport_bytes_total", "").Value(); got != res.Stats.Bytes {
+		t.Fatalf("registry saw %d bytes, Stats %d", got, res.Stats.Bytes)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // FaultPlan configures deterministic fault injection for tests: the ε-PPI
@@ -61,6 +63,12 @@ func (f *FaultyNetwork) Stats() Stats { return f.inner.Stats() }
 
 // Close closes the inner network.
 func (f *FaultyNetwork) Close() error { return f.inner.Close() }
+
+// Instrument forwards to the inner network when it supports metrics.
+func (f *FaultyNetwork) Instrument(reg *metrics.Registry) { Instrument(f.inner, reg) }
+
+// Metrics returns the inner network's registry, or nil.
+func (f *FaultyNetwork) Metrics() *metrics.Registry { return RegistryOf(f.inner) }
 
 // decide returns the fate of one message under the plan.
 func (f *FaultyNetwork) decide(from int) (drop, corrupt, fail bool) {

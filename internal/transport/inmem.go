@@ -2,6 +2,8 @@ package transport
 
 import (
 	"fmt"
+
+	"repro/internal/metrics"
 )
 
 // InMemNetwork is a process-local network of n parties backed by mailbox
@@ -34,6 +36,14 @@ func (n *InMemNetwork) Size() int { return len(n.nodes) }
 
 // Stats returns cumulative traffic counters.
 func (n *InMemNetwork) Stats() Stats { return n.stats.snapshot() }
+
+// Instrument mirrors subsequent traffic into reg (per-kind message and
+// byte counters); protocols running over this network also pick reg up
+// via RegistryOf for their phase timers.
+func (n *InMemNetwork) Instrument(reg *metrics.Registry) { n.stats.instrument(reg) }
+
+// Metrics returns the registry installed by Instrument, or nil.
+func (n *InMemNetwork) Metrics() *metrics.Registry { return n.stats.registry() }
 
 // Close shuts down all nodes.
 func (n *InMemNetwork) Close() error {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // TCPNetwork is a full-mesh TCP network over loopback: party i maintains a
@@ -121,6 +123,13 @@ func (t *TCPNetwork) Size() int { return len(t.nodes) }
 
 // Stats returns cumulative traffic counters.
 func (t *TCPNetwork) Stats() Stats { return t.stats.snapshot() }
+
+// Instrument mirrors subsequent traffic into reg (per-kind message and
+// byte counters).
+func (t *TCPNetwork) Instrument(reg *metrics.Registry) { t.stats.instrument(reg) }
+
+// Metrics returns the registry installed by Instrument, or nil.
+func (t *TCPNetwork) Metrics() *metrics.Registry { return t.stats.registry() }
 
 // Close shuts down every node and joins all reader goroutines.
 func (t *TCPNetwork) Close() error {

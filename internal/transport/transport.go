@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/metrics"
 )
 
 // Kind tags the protocol step a message belongs to.
@@ -115,15 +117,97 @@ type Network interface {
 	Close() error
 }
 
+// Instrumenter is implemented by networks that can mirror their traffic
+// accounting into a shared metrics registry.
+type Instrumenter interface {
+	// Instrument mirrors all subsequent traffic into reg.
+	Instrument(reg *metrics.Registry)
+	// Metrics returns the registry installed by Instrument (nil before).
+	Metrics() *metrics.Registry
+}
+
+// Instrument wires n's traffic counters into reg if the network supports
+// it (both built-in networks do; wrappers forward). It reports whether the
+// wiring happened. A nil registry is a no-op.
+func Instrument(n Network, reg *metrics.Registry) bool {
+	if reg == nil {
+		return false
+	}
+	in, ok := n.(Instrumenter)
+	if !ok {
+		return false
+	}
+	in.Instrument(reg)
+	return true
+}
+
+// RegistryOf returns the metrics registry attached to n, or nil. Protocols
+// (secsum, gmw) use it to report phase timers through whatever registry
+// the caller instrumented the network with — no signature changes needed.
+func RegistryOf(n Network) *metrics.Registry {
+	if in, ok := n.(Instrumenter); ok {
+		return in.Metrics()
+	}
+	return nil
+}
+
+// maxKind bounds the per-kind instrument arrays (kinds are small iota
+// constants starting at 1).
+const maxKind = int(KindOT) + 1
+
+// netInstruments mirrors traffic counters into a registry; installed at
+// most once per network via counter.instrument.
+type netInstruments struct {
+	reg      *metrics.Registry
+	messages *metrics.Counter
+	bytes    *metrics.Counter
+	perKindM [maxKind]*metrics.Counter
+	perKindB [maxKind]*metrics.Counter
+}
+
 // counter is shared traffic accounting.
 type counter struct {
 	messages atomic.Uint64
 	bytes    atomic.Uint64
+	inst     atomic.Pointer[netInstruments]
+}
+
+func (c *counter) instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	in := &netInstruments{
+		reg:      reg,
+		messages: reg.Counter("eppi_transport_messages_total", "Protocol messages sent across all kinds."),
+		bytes:    reg.Counter("eppi_transport_bytes_total", "Approximate wire bytes sent across all kinds."),
+	}
+	for k := 1; k < maxKind; k++ {
+		label := metrics.L("kind", Kind(k).String())
+		in.perKindM[k] = reg.Counter("eppi_transport_kind_messages_total", "Protocol messages sent, by message kind.", label)
+		in.perKindB[k] = reg.Counter("eppi_transport_kind_bytes_total", "Approximate wire bytes sent, by message kind.", label)
+	}
+	c.inst.Store(in)
+}
+
+func (c *counter) registry() *metrics.Registry {
+	if in := c.inst.Load(); in != nil {
+		return in.reg
+	}
+	return nil
 }
 
 func (c *counter) record(m Message) {
 	c.messages.Add(1)
-	c.bytes.Add(uint64(m.wireSize()))
+	size := uint64(m.wireSize())
+	c.bytes.Add(size)
+	if in := c.inst.Load(); in != nil {
+		in.messages.Inc()
+		in.bytes.Add(size)
+		if k := int(m.Kind); k > 0 && k < maxKind {
+			in.perKindM[k].Inc()
+			in.perKindB[k].Add(size)
+		}
+	}
 }
 
 func (c *counter) snapshot() Stats {
