@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench race fuzz experiments examples clean
+.PHONY: all build test vet bench race fuzz smoke experiments examples clean
 
 all: build vet test
 
@@ -17,6 +17,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Boot eppi-serve, run one query, and assert /v1/metrics and /v1/traces
+# answer with live data (see scripts/smoke.sh).
+smoke:
+	sh scripts/smoke.sh
 
 # One benchmark per paper table/figure (quick scale).
 bench:

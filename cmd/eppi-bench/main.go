@@ -16,6 +16,11 @@
 // section: a JSON dump of the instrumentation gathered across the run
 // (index query fan-out from searchcost, transport traffic and MPC phase
 // timers from the Fig 6 protocol executions).
+//
+// Profiling: -cpuprofile, -memprofile and -exectrace write pprof CPU and
+// heap profiles and a runtime/trace execution trace covering the whole
+// run, for `go tool pprof` / `go tool trace` analysis of the protocol
+// implementations at paper scale.
 package main
 
 import (
@@ -24,6 +29,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"time"
 
 	"repro/internal/experiments"
@@ -50,8 +58,48 @@ func run(args []string, out io.Writer) error {
 	format := fs.String("format", "text", "output format: text|csv")
 	transportName := fs.String("transport", "inmem", "protocol transport for fig6a/fig6c: inmem|tcp")
 	withMetrics := fs.Bool("metrics", true, "append a JSON metrics snapshot to text output")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	execTrace := fs.String("exectrace", "", "write a runtime/trace execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *execTrace != "" {
+		f, err := os.Create(*execTrace)
+		if err != nil {
+			return fmt.Errorf("exectrace: %w", err)
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			return fmt.Errorf("exectrace: %w", err)
+		}
+		defer rtrace.Stop()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "eppi-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "eppi-bench: memprofile:", err)
+			}
+		}()
 	}
 	if *format != "text" && *format != "csv" {
 		return fmt.Errorf("unknown format %q", *format)

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -114,5 +116,37 @@ func TestRunTableExperiment(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "tolerates") {
 		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	exec := filepath.Join(dir, "trace.out")
+	var out bytes.Buffer
+	err := run([]string{"-experiment", "fig6b", "-quick", "-metrics=false",
+		"-cpuprofile", cpu, "-memprofile", mem, "-exectrace", exec}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem, exec} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile %s not written: %v", path, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestRunProfilingBadPath(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-experiment", "fig6b", "-quick",
+		"-cpuprofile", filepath.Join(t.TempDir(), "no-such-dir", "cpu.pprof")}, &out)
+	if err == nil {
+		t.Fatal("unwritable cpuprofile path accepted")
 	}
 }

@@ -7,17 +7,26 @@
 //
 //	eppi-construct -providers 100 -owners 50 [-policy chernoff] [-gamma 0.9]
 //	eppi-construct -providers 12 -owners 8 -secure -c 3 [-tcp]
+//	eppi-construct -providers 12 -owners 8 -secure -trace run.json
+//
+// -trace records a span tree of the whole construction — β-phase,
+// SecSumShare, per-batch MPC with GMW/OT phases, mixing, publication —
+// and writes it as Chrome trace-event JSON (load it in Perfetto).
+// Progress logs are structured (log/slog, -log-level / -log-format).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/logx"
 	"repro/internal/mathx"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -41,7 +50,14 @@ func run(args []string, out io.Writer) error {
 	tcp := fs.Bool("tcp", false, "use TCP loopback transport (secure mode)")
 	seed := fs.Int64("seed", 1, "random seed")
 	zipf := fs.Float64("zipf", 1.1, "Zipf exponent of identity frequencies")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the construction to this file")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := logx.New(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 
@@ -83,9 +99,24 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
+	var tracer *trace.Tracer
+	if *tracePath != "" {
+		tracer = trace.New(1)
+		cfg.Tracer = tracer
+	}
+	logger.Info("constructing",
+		slog.Int("providers", *providers), slog.Int("owners", *owners),
+		slog.String("policy", policy.String()), slog.String("mode", cfg.Mode.String()),
+		slog.Bool("traced", tracer != nil))
 	res, err := core.Construct(d.Matrix, d.Eps, cfg)
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		if err := writeTrace(*tracePath, tracer); err != nil {
+			return err
+		}
+		logger.Info("trace written", slog.String("path", *tracePath))
 	}
 	srv, err := index.NewServer(res.Published, d.Names)
 	if err != nil {
@@ -121,4 +152,18 @@ func run(args []string, out io.Writer) error {
 			d.Names[j], d.Frequency(j), d.Eps[j], res.Betas[j], res.Hidden[j])
 	}
 	return nil
+}
+
+// writeTrace exports the tracer's recorded construction trace as Chrome
+// trace-event JSON.
+func writeTrace(path string, tracer *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := trace.WriteChrome(f, tracer.Recent()); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: %w", err)
+	}
+	return f.Close()
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -42,5 +45,45 @@ func TestConstructPolicies(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-policy", "nonsense"}, &out); err == nil {
 		t.Error("unknown policy accepted")
+	}
+}
+
+func TestConstructTraceExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	err := run([]string{"-providers", "9", "-owners", "6", "-secure", "-c", "3",
+		"-trace", path, "-log-level", "error"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("invalid Chrome trace JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range file.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"core.construct", "secsum.share", "mpc.countbelow",
+		"mpc.reveal", "gmw.and_rounds", "core.publish"} {
+		if !names[want] {
+			t.Errorf("trace export missing span %q", want)
+		}
+	}
+}
+
+func TestConstructBadLogConfig(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-log-level", "shout"}, &out); err == nil {
+		t.Error("unknown log level accepted")
 	}
 }

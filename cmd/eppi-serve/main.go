@@ -7,8 +7,16 @@
 //	eppi-serve -addr 127.0.0.1:8080 -index index.bin
 //	eppi-serve -addr 127.0.0.1:8080 -providers 50 -owners 20   # demo index
 //
-// Endpoints: GET /v1/query?owner=…, GET /v1/stats, GET /v1/healthz, and
-// (unless -metrics=false) GET /v1/metrics in Prometheus text format.
+// Endpoints: GET /v1/query?owner=…, GET /v1/stats, GET /v1/healthz,
+// (unless -metrics=false) GET /v1/metrics in Prometheus text format,
+// (unless -trace=0) GET /v1/traces serving recent request traces as
+// Chrome trace-event JSON (load it in Perfetto; ?format=text for an
+// indented tree), and (with -pprof) the net/http/pprof handlers under
+// /debug/pprof/.
+//
+// Logs are structured (log/slog); -log-level and -log-format select
+// verbosity and text/json rendering. Records emitted while serving a
+// traced request carry its trace_id/span_id.
 //
 // SIGINT/SIGTERM shut the server down gracefully: in-flight requests are
 // allowed to finish (bounded by a drain timeout) before the process exits.
@@ -18,8 +26,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -28,8 +38,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/httpapi"
 	"repro/internal/index"
+	"repro/internal/logx"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -54,7 +66,15 @@ func run(ctx context.Context, args []string) error {
 	owners := fs.Int("owners", 20, "demo index: number of owners")
 	seed := fs.Int64("seed", 1, "demo index: random seed")
 	withMetrics := fs.Bool("metrics", true, "expose GET /v1/metrics and instrument the index")
+	traceCap := fs.Int("trace", trace.DefaultCapacity, "recent-trace ring capacity for GET /v1/traces (0 disables tracing)")
+	withPprof := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := logx.New(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 
@@ -64,33 +84,54 @@ func run(ctx context.Context, args []string) error {
 	}
 	var opts []httpapi.Option
 	if *withMetrics {
-		opts = append(opts, httpapi.WithMetrics(metrics.NewRegistry()))
+		reg := metrics.NewRegistry()
+		metrics.RegisterRuntime(reg)
+		opts = append(opts, httpapi.WithMetrics(reg))
+	}
+	if *traceCap > 0 {
+		opts = append(opts, httpapi.WithTracer(trace.New(*traceCap)))
 	}
 	handler, err := httpapi.NewHandler(srv, opts...)
 	if err != nil {
 		return err
 	}
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	if *withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	listener, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	fmt.Printf("locator service on http://%s (index: %d providers, %d owners)\n",
-		listener.Addr(), srv.Providers(), srv.Owners())
-	return serve(ctx, listener, handler)
+	logger.Info("locator service up",
+		slog.String("addr", "http://"+listener.Addr().String()),
+		slog.Int("providers", srv.Providers()),
+		slog.Int("owners", srv.Owners()),
+		slog.Bool("metrics", *withMetrics),
+		slog.Int("trace_ring", *traceCap),
+		slog.Bool("pprof", *withPprof))
+	return serve(ctx, listener, mux, logger)
 }
 
 // serve runs the HTTP server until the listener closes or ctx is
 // cancelled (SIGINT/SIGTERM in main). On cancellation the server drains
 // in-flight requests for up to drainTimeout before forcing connections
 // closed.
-func serve(ctx context.Context, listener net.Listener, handler http.Handler) error {
+func serve(ctx context.Context, listener net.Listener, handler http.Handler, logger *slog.Logger) error {
 	httpSrv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
 	}
 	shutdownErr := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
+		logger.Info("shutting down", slog.Duration("drain_timeout", drainTimeout))
 		drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		shutdownErr <- httpSrv.Shutdown(drainCtx)

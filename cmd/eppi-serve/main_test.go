@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -73,7 +74,7 @@ func startServe(t *testing.T, handler http.Handler) (string, context.CancelFunc,
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, listener, handler) }()
+	go func() { done <- serve(ctx, listener, handler, slog.New(slog.NewTextHandler(io.Discard, nil))) }()
 	return "http://" + listener.Addr().String(), cancel, done
 }
 

@@ -41,6 +41,7 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/provider"
 	"repro/internal/searcher"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -217,6 +218,14 @@ func WithOTPreprocessing() Option {
 // WithSeed fixes the construction randomness for reproducible runs.
 func WithSeed(seed int64) Option {
 	return func(o *options) { o.cfg.Seed = seed }
+}
+
+// WithTracer records one span tree per ConstructPPI run into tr — the β
+// phase, SecSumShare, each MPC batch (OT preprocessing and GMW phases
+// included), mixing and publication. Export the result with
+// trace.WriteChrome (Perfetto) or Tracer.WriteTrees.
+func WithTracer(tr *trace.Tracer) Option {
+	return func(o *options) { o.cfg.Tracer = tr }
 }
 
 // WithXi overrides the mixing fraction ξ (normally derived from the ε of

@@ -3,6 +3,8 @@ package eppi
 import (
 	"errors"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // buildHospitalNetwork assembles a small HIE-style network used across the
@@ -317,5 +319,19 @@ func TestWithPolicyOptions(t *testing.T) {
 		if _, err := net.ConstructPPI(opt, WithSeed(15)); err != nil {
 			t.Fatalf("option failed: %v", err)
 		}
+	}
+}
+
+func TestWithTracerRecordsConstruction(t *testing.T) {
+	n := buildHospitalNetwork(t)
+	tr := trace.New(2)
+	if _, err := n.ConstructPPI(WithSecure(3), WithSeed(7), WithTracer(tr)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("recorded %d traces, want 1", tr.Len())
+	}
+	if root := tr.Recent()[0].Root(); root.Name != "core.construct" {
+		t.Fatalf("root span %q", root.Name)
 	}
 }

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -120,6 +122,13 @@ type Config struct {
 	// ModeSecure run: per-kind transport traffic plus SecSumShare and GMW
 	// phase timers report into this registry.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records one trace per Construct call (unless
+	// the caller's context already carries a span, in which case the run
+	// nests under it): a root span with child spans for β-threshold
+	// calculation, SecSumShare, each MPC batch (OT preprocessing and GMW
+	// phases included), identity mixing, and publication. Per-stage
+	// transport traffic is attributed to the stage spans.
+	Tracer *trace.Tracer
 }
 
 func (c Config) coinBits() int {
@@ -242,6 +251,14 @@ func (c Config) Threshold(epsilon float64, m int) uint64 {
 // Construct builds the ε-PPI for private matrix truth (providers × owners)
 // and per-owner privacy degrees eps.
 func Construct(truth *bitmat.Matrix, eps []float64, cfg Config) (*Result, error) {
+	return ConstructCtx(context.Background(), truth, eps, cfg)
+}
+
+// ConstructCtx is Construct with an explicit context. When the context
+// carries a trace span (or cfg.Tracer is set) the run records a span tree
+// covering every construction phase: β-threshold calculation, SecSumShare,
+// OT preprocessing, GMW evaluation, identity mixing and publication.
+func ConstructCtx(ctx context.Context, truth *bitmat.Matrix, eps []float64, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -258,23 +275,41 @@ func Construct(truth *bitmat.Matrix, eps []float64, cfg Config) (*Result, error)
 		}
 	}
 
+	// Open a root span when the caller supplied a tracer but no enclosing
+	// span; nest under the caller's span otherwise.
+	if cfg.Tracer != nil && trace.FromContext(ctx) == nil {
+		var root *trace.Span
+		ctx, root = cfg.Tracer.StartRoot(ctx, "core.construct")
+		defer root.End()
+	}
+	ctx, runSpan := trace.StartChild(ctx, "core.construct.run",
+		trace.A("mode", cfg.Mode.String()), trace.A("policy", cfg.Policy.String()),
+		trace.Int("providers", m), trace.Int("identities", n))
+	defer runSpan.End()
+
+	// β policy evaluation: the public per-identity thresholds t_j
+	// (Algorithm 1's σ' computation).
+	_, betaSpan := trace.StartChild(ctx, "core.beta_thresholds")
 	thresholds := make([]uint64, n)
 	for j := range thresholds {
 		thresholds[j] = cfg.Threshold(eps[j], m)
 	}
+	betaSpan.SetInt("identities", n)
+	betaSpan.End()
 
 	switch cfg.Mode {
 	case ModeTrusted:
-		return constructTrusted(truth, eps, thresholds, cfg)
+		return constructTrusted(ctx, truth, eps, thresholds, cfg)
 	default:
-		return constructSecure(truth, eps, thresholds, cfg)
+		return constructSecure(ctx, truth, eps, thresholds, cfg)
 	}
 }
 
 // constructTrusted runs the simulation path: frequencies in the clear.
-func constructTrusted(truth *bitmat.Matrix, eps []float64, thresholds []uint64, cfg Config) (*Result, error) {
+func constructTrusted(ctx context.Context, truth *bitmat.Matrix, eps []float64, thresholds []uint64, cfg Config) (*Result, error) {
 	m, n := truth.Rows(), truth.Cols()
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	_, aggSpan := trace.StartChild(ctx, "core.aggregate")
 	freqs := make([]uint64, n)
 	commons := 0
 	for j := 0; j < n; j++ {
@@ -283,6 +318,8 @@ func constructTrusted(truth *bitmat.Matrix, eps []float64, thresholds []uint64, 
 			commons++
 		}
 	}
+	aggSpan.SetInt("commons", commons)
+	aggSpan.End()
 	xi := cfg.XiOverride
 	if xi <= 0 {
 		for j := 0; j < n; j++ {
@@ -296,6 +333,8 @@ func constructTrusted(truth *bitmat.Matrix, eps []float64, thresholds []uint64, 
 		return nil, err
 	}
 
+	// Identity mixing + per-identity β (Equations 6 and 7).
+	_, mixSpan := trace.StartChild(ctx, "core.mixing")
 	hidden := make([]bool, n)
 	betas := make([]float64, n)
 	for j := 0; j < n; j++ {
@@ -309,12 +348,16 @@ func constructTrusted(truth *bitmat.Matrix, eps []float64, thresholds []uint64, 
 			Sigma: sigma, Epsilon: eps[j], M: m, Delta: cfg.Delta, Gamma: cfg.Gamma,
 		})
 		if err != nil {
+			mixSpan.End()
 			return nil, fmt.Errorf("β for identity %d: %w", j, err)
 		}
 		betas[j] = b
 	}
+	mixSpan.End()
 
+	_, pubSpan := trace.StartChild(ctx, "core.publish")
 	published := Publish(truth, betas, rng)
+	pubSpan.End()
 	return &Result{
 		Published:   published,
 		Betas:       betas,

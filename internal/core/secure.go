@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/secretshare"
 	"repro/internal/secsum"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -45,7 +47,7 @@ func addCircuitStats(acc, s circuit.Stats) circuit.Stats {
 // t_j <= m); the trusted path uses the paper's exact max-over-true-commons,
 // which the secure path cannot evaluate without leaking the common set.
 // The conservative ξ only ever increases λ, i.e. strengthens mixing.
-func constructSecure(truth *bitmat.Matrix, eps []float64, thresholds []uint64, cfg Config) (*Result, error) {
+func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, thresholds []uint64, cfg Config) (*Result, error) {
 	m, n := truth.Rows(), truth.Cols()
 	c := cfg.C
 	if m < c {
@@ -82,7 +84,10 @@ func constructSecure(truth *bitmat.Matrix, eps []float64, thresholds []uint64, c
 		return nil, fmt.Errorf("provider network: %w", err)
 	}
 	transport.Instrument(provNet, cfg.Metrics)
+	_, ssSpan := trace.StartChild(ctx, "secsum.share")
+	transport.AttachSpan(provNet, ssSpan)
 	sumRes, err := secsum.Run(provNet, scheme, inputs, cfg.Seed)
+	ssSpan.End()
 	closeErr := provNet.Close()
 	if err != nil {
 		return nil, fmt.Errorf("SecSumShare: %w", err)
@@ -95,13 +100,19 @@ func constructSecure(truth *bitmat.Matrix, eps []float64, thresholds []uint64, c
 
 	// runMPC executes one coordinator-side secure computation, sourcing
 	// preprocessing per the configuration (dealer, or pairwise OT run over
-	// the same fresh network before the online phase).
-	runMPC := func(circ *circuit.Circuit, inputs [][]bool, seed int64) (*gmw.Result, error) {
+	// the same fresh network before the online phase). Each invocation is
+	// one span (stage names the circuit, lo/hi the identity batch), and the
+	// fresh network carries it so the GMW/OT phase spans nest underneath.
+	runMPC := func(stage string, lo, hi int, circ *circuit.Circuit, inputs [][]bool, seed int64) (*gmw.Result, error) {
 		mpcNet, err := newNet(c)
 		if err != nil {
 			return nil, fmt.Errorf("coordinator network: %w", err)
 		}
 		transport.Instrument(mpcNet, cfg.Metrics)
+		_, mpcSpan := trace.StartChild(ctx, stage,
+			trace.Int("batch_lo", lo), trace.Int("batch_hi", hi))
+		transport.AttachSpan(mpcNet, mpcSpan)
+		defer mpcSpan.End()
 		var res *gmw.Result
 		if cfg.Triples == TripleOT {
 			triples, terr := gmw.GenTriplesOT(mpcNet, circ.Stats().AndGates, seed+7919)
@@ -157,7 +168,7 @@ func constructSecure(truth *bitmat.Matrix, eps []float64, thresholds []uint64, c
 			}
 			cbInputs[k] = bits
 		}
-		cbRes, err := runMPC(cbCirc, cbInputs, cfg.Seed+1+int64(lo))
+		cbRes, err := runMPC("mpc.countbelow", lo, hi, cbCirc, cbInputs, cfg.Seed+1+int64(lo))
 		if err != nil {
 			return nil, fmt.Errorf("CountBelow MPC [%d:%d]: %w", lo, hi, err)
 		}
@@ -168,6 +179,7 @@ func constructSecure(truth *bitmat.Matrix, eps []float64, thresholds []uint64, c
 	}
 
 	// λ from the public count (Equation 7), with conservative public ξ.
+	_, mixSpan := trace.StartChild(ctx, "core.mixing", trace.Int("common_count", commonCount))
 	xi := cfg.XiOverride
 	if xi <= 0 {
 		for j := 0; j < n; j++ {
@@ -178,6 +190,7 @@ func constructSecure(truth *bitmat.Matrix, eps []float64, thresholds []uint64, c
 	}
 	lambda, err := mathx.Lambda(xi, commonCount, n)
 	if err != nil {
+		mixSpan.End()
 		return nil, err
 	}
 	coinBits := cfg.coinBits()
@@ -186,6 +199,7 @@ func constructSecure(truth *bitmat.Matrix, eps []float64, thresholds []uint64, c
 	if mixThreshold >= coinMod {
 		mixThreshold = coinMod - 1 // λ ≈ 1 clamped to the coin resolution
 	}
+	mixSpan.End()
 
 	// --- Stage C: Reveal among the c coordinators (same batching) ----------
 	coinRng := rand.New(rand.NewSource(cfg.Seed + 2))
@@ -219,7 +233,7 @@ func constructSecure(truth *bitmat.Matrix, eps []float64, thresholds []uint64, c
 			}
 			rvInputs[k] = bits
 		}
-		rvRes, err := runMPC(rvCirc, rvInputs, cfg.Seed+3+int64(lo))
+		rvRes, err := runMPC("mpc.reveal", lo, hi, rvCirc, rvInputs, cfg.Seed+3+int64(lo))
 		if err != nil {
 			return nil, fmt.Errorf("Reveal MPC [%d:%d]: %w", lo, hi, err)
 		}
@@ -251,8 +265,10 @@ func constructSecure(truth *bitmat.Matrix, eps []float64, thresholds []uint64, c
 	}
 
 	// Phase 2: every provider publishes locally using the public β vector.
+	_, pubSpan := trace.StartChild(ctx, "core.publish")
 	pubRng := rand.New(rand.NewSource(cfg.Seed + 4))
 	published := Publish(truth, betas, pubRng)
+	pubSpan.End()
 	return &Result{
 		Published:   published,
 		Betas:       betas,

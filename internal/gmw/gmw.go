@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -136,9 +137,17 @@ func runCommon(net transport.Network, circ *circuit.Circuit, inputs [][]bool, tr
 	}
 
 	// Phase timers report through the registry attached to the network, if
-	// any (transport.Instrument); nil instruments no-op.
+	// any (transport.Instrument); nil instruments no-op. Phase spans hang
+	// under the span attached to the network (transport.AttachSpan), with
+	// party 0 recording them as the representative party.
 	tm := newTimers(transport.RegistryOf(net))
 	tm.runs.Inc()
+	runSpan := transport.SpanOf(net)
+	runSpan.SetAttrs(
+		trace.Int("parties", n),
+		trace.Int("and_gates", andCount),
+		trace.Int("and_layers", len(circ.AndRounds())),
+		trace.Int("rounds", 2+len(circ.AndRounds())))
 	before := net.Stats()
 	results := make([][]bool, n)
 	errs := make([]error, n)
@@ -150,8 +159,12 @@ func runCommon(net transport.Network, circ *circuit.Circuit, inputs [][]bool, tr
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			var sp *trace.Span
+			if p == 0 {
+				sp = runSpan
+			}
 			rng := rand.New(rand.NewSource(seed ^ int64(p+1)*104729))
-			out, err := runParty(net.Node(p), circ, owned, inputs[p], triples[p], rng, tm)
+			out, err := runParty(net.Node(p), circ, owned, inputs[p], triples[p], rng, tm, sp)
 			if err != nil {
 				errs[p] = fmt.Errorf("party %d: %w", p, err)
 				failOnce.Do(func() { net.Close() })
@@ -215,8 +228,9 @@ func newTimers(reg *metrics.Registry) *timers {
 	}
 }
 
-// runParty executes one party's role and returns the reconstructed outputs.
-func runParty(node transport.Node, circ *circuit.Circuit, owned [][]int, myInputs []bool, triples PartyTriples, rng *rand.Rand, tm *timers) ([]bool, error) {
+// runParty executes one party's role and returns the reconstructed
+// outputs. sp, when non-nil (party 0), parents per-phase child spans.
+func runParty(node transport.Node, circ *circuit.Circuit, owned [][]int, myInputs []bool, triples PartyTriples, rng *rand.Rand, tm *timers, sp *trace.Span) ([]bool, error) {
 	n := node.Size()
 	id := node.ID()
 	coll := transport.NewCollector(node)
@@ -225,6 +239,7 @@ func runParty(node transport.Node, circ *circuit.Circuit, owned [][]int, myInput
 	gates := circ.Gates()
 
 	phaseStart := time.Now()
+	phaseSpan := sp.Child("gmw.input_share")
 	// --- Round 1: input sharing -------------------------------------------
 	// For each owned wire, sample one share per party; keep ours, send the
 	// rest. Message to party q: packed bits of q's shares of our wires (in
@@ -278,7 +293,9 @@ func runParty(node transport.Node, circ *circuit.Circuit, owned [][]int, myInput
 	}
 
 	tm.inputs.ObserveSince(phaseStart)
+	phaseSpan.End()
 	phaseStart = time.Now()
+	phaseSpan = sp.Child("gmw.and_rounds")
 
 	// --- Rounds 2..: layered evaluation ------------------------------------
 	evalLocal := func(gi int) {
@@ -353,8 +370,12 @@ func runParty(node transport.Node, circ *circuit.Circuit, owned [][]int, myInput
 		evalLocal(gi)
 	}
 	tm.andRounds.ObserveSince(phaseStart)
+	phaseSpan.SetInt("layers", len(andRounds))
+	phaseSpan.End()
 	phaseStart = time.Now()
 	defer tm.outputs.ObserveSince(phaseStart)
+	phaseSpan = sp.Child("gmw.output")
+	defer phaseSpan.End()
 
 	// --- Final round: output reconstruction --------------------------------
 	outWires := circ.Outputs()

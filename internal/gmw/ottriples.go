@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/ot"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -38,6 +39,11 @@ func GenTriplesOT(net transport.Network, count int, seed int64) ([]PartyTriples,
 	if count < 0 {
 		return nil, fmt.Errorf("gmw: negative triple count %d", count)
 	}
+	// The preprocessing span hangs under whatever span the caller attached
+	// to the network; it covers all n(n−1) pairwise OT sessions.
+	otSpan := transport.SpanOf(net).Child("gmw.ot_preprocess",
+		trace.Int("parties", n), trace.Int("triples", count))
+	defer otSpan.End()
 	group := ot.DefaultGroup()
 	out := make([]PartyTriples, n)
 	errs := make([]error, n)

@@ -28,6 +28,18 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Trace-propagation headers: a client carrying an active span stamps both
+// on every request, and a traced server joins that trace instead of
+// opening a fresh one — the distributed span tree shares one trace id.
+const (
+	// TraceIDHeader carries the 16-hex-digit trace id.
+	TraceIDHeader = "X-Eppi-Trace-Id"
+	// ParentSpanHeader carries the caller's span id, adopted as the
+	// parent of the server's root span.
+	ParentSpanHeader = "X-Eppi-Parent-Span"
 )
 
 // Handler serves the locator API over an index server.
@@ -35,6 +47,7 @@ type Handler struct {
 	server *index.Server
 	mux    *http.ServeMux
 	reg    *metrics.Registry
+	tracer *trace.Tracer
 }
 
 var _ http.Handler = (*Handler)(nil)
@@ -47,6 +60,16 @@ type Option func(*Handler)
 // counters into the same registry. A nil registry disables all of it.
 func WithMetrics(reg *metrics.Registry) Option {
 	return func(h *Handler) { h.reg = reg }
+}
+
+// WithTracer records one span tree per request into tr (root span per
+// route, child spans down through the index lookup) and exposes
+// GET /v1/traces serving the recent-trace ring as Chrome trace-event JSON
+// (or an indented text tree with ?format=text). Requests carrying
+// TraceIDHeader join the caller's trace instead of opening a new one.
+// A nil tracer disables all of it.
+func WithTracer(tr *trace.Tracer) Option {
+	return func(h *Handler) { h.tracer = tr }
 }
 
 // NewHandler wraps srv.
@@ -62,10 +85,50 @@ func NewHandler(srv *index.Server, opts ...Option) (*Handler, error) {
 		srv.Instrument(h.reg)
 		h.mux.HandleFunc("GET /v1/metrics", h.instrument("metrics", h.handleMetrics))
 	}
-	h.mux.HandleFunc("GET /v1/query", h.instrument("query", h.handleQuery))
-	h.mux.HandleFunc("GET /v1/stats", h.instrument("stats", h.handleStats))
-	h.mux.HandleFunc("GET /v1/healthz", h.instrument("healthz", h.handleHealthz))
+	if h.tracer != nil {
+		// /v1/traces itself is excluded from tracing so reading the ring
+		// does not pollute it.
+		h.mux.HandleFunc("GET /v1/traces", h.instrument("traces", h.handleTraces))
+	}
+	h.mux.HandleFunc("GET /v1/query", h.wrap("query", h.handleQuery))
+	h.mux.HandleFunc("GET /v1/stats", h.wrap("stats", h.handleStats))
+	h.mux.HandleFunc("GET /v1/healthz", h.wrap("healthz", h.handleHealthz))
 	return h, nil
+}
+
+// wrap layers the tracing and metrics middleware (both conditional on
+// their options) around a route handler.
+func (h *Handler) wrap(route string, fn http.HandlerFunc) http.HandlerFunc {
+	return h.instrument(route, h.traced(route, fn))
+}
+
+// traced opens one span per request — a root span, or a child of a remote
+// caller's span when the propagation headers are present — and threads it
+// through the request context so downstream layers (index, searcher) hang
+// their spans underneath. Without a tracer the handler is returned
+// untouched.
+func (h *Handler) traced(route string, fn http.HandlerFunc) http.HandlerFunc {
+	if h.tracer == nil {
+		return fn
+	}
+	name := "http." + route
+	return func(w http.ResponseWriter, r *http.Request) {
+		var ctx context.Context
+		var sp *trace.Span
+		if tid, ok := trace.ParseID(r.Header.Get(TraceIDHeader)); ok && tid != 0 {
+			parent, _ := trace.ParseID(r.Header.Get(ParentSpanHeader))
+			ctx, sp = h.tracer.StartRemote(r.Context(), name,
+				trace.TraceID(tid), trace.SpanID(parent))
+		} else {
+			ctx, sp = h.tracer.StartRoot(r.Context(), name)
+		}
+		sp.Set("method", r.Method)
+		sp.Set("route", route)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		fn(sw, r.WithContext(ctx))
+		sp.SetInt("status", sw.code)
+		sp.End()
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -143,7 +206,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing owner parameter"})
 		return
 	}
-	providers, err := h.server.Query(owner)
+	providers, err := h.server.QueryCtx(r.Context(), owner)
 	if err != nil {
 		if errors.Is(err, index.ErrUnknownOwner) {
 			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
@@ -169,6 +232,19 @@ func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Providers: h.server.Providers(),
 		Owners:    h.server.Owners(),
 	})
+}
+
+func (h *Handler) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = h.tracer.WriteTrees(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	// Write errors mean the client went away mid-download; nothing to do.
+	_ = trace.WriteChrome(w, h.tracer.Recent())
 }
 
 func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -211,11 +287,17 @@ func NewClient(base string, httpClient *http.Client) *Client {
 // ErrOwnerNotFound reports a 404 from /v1/query.
 var ErrOwnerNotFound = errors.New("httpapi: owner not found")
 
-// get issues a context-bound GET and returns the response.
+// get issues a context-bound GET and returns the response. When ctx
+// carries an active trace span, the request is stamped with the
+// propagation headers so a traced server joins the caller's trace.
 func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return nil, err
+	}
+	if sp := trace.FromContext(ctx); sp != nil {
+		req.Header.Set(TraceIDHeader, sp.TraceID().String())
+		req.Header.Set(ParentSpanHeader, sp.ID().String())
 	}
 	return c.http.Do(req)
 }

@@ -1,0 +1,183 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/index"
+	"repro/internal/trace"
+)
+
+func tracedHandler(t *testing.T) (*Handler, *trace.Tracer) {
+	t.Helper()
+	pub, err := bitmat.New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Set(0, 0, true)
+	pub.Set(2, 0, true)
+	srv, err := index.NewServer(pub, []string{"alice", "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(8)
+	h, err := NewHandler(srv, WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, tr
+}
+
+func TestQueryRecordsRootSpan(t *testing.T) {
+	h, tr := tracedHandler(t)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/query?owner=alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	traces := tr.Recent()
+	if len(traces) != 1 {
+		t.Fatalf("recorded %d traces, want 1", len(traces))
+	}
+	root := traces[0].Root()
+	if root.Name != "http.query" {
+		t.Fatalf("root span %q, want http.query", root.Name)
+	}
+	var gotIndex bool
+	for _, s := range traces[0].Spans {
+		if s.Name == "index.query" && s.Parent == root.ID {
+			gotIndex = true
+		}
+	}
+	if !gotIndex {
+		t.Fatal("index.query child span missing from request trace")
+	}
+}
+
+func TestClientPropagatesTraceToServer(t *testing.T) {
+	h, serverTracer := tracedHandler(t)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	clientTracer := trace.New(2)
+	ctx, sp := clientTracer.StartRoot(context.Background(), "client.op")
+	c := NewClient(ts.URL, nil)
+	if _, err := c.Query(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+
+	traces := serverTracer.Recent()
+	if len(traces) != 1 {
+		t.Fatalf("server recorded %d traces, want 1", len(traces))
+	}
+	serverRoot := traces[0].Root()
+	if got, want := traces[0].ID, sp.TraceID(); got != want {
+		t.Fatalf("server trace id %s, want caller's %s", got, want)
+	}
+	if got, want := serverRoot.Parent, sp.ID(); got != want {
+		t.Fatalf("server root parented under %s, want caller span %s", got, want)
+	}
+}
+
+func TestTracesEndpointServesChromeJSON(t *testing.T) {
+	h, _ := tracedHandler(t)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	for _, owner := range []string{"alice", "bob"} {
+		resp, err := http.Get(ts.URL + "/v1/query?owner=" + owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			PID   int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&file); err != nil {
+		t.Fatalf("invalid Chrome trace JSON: %v", err)
+	}
+	var roots int
+	for _, ev := range file.TraceEvents {
+		if ev.Phase == "X" && ev.Name == "http.query" {
+			roots++
+		}
+	}
+	if roots != 2 {
+		t.Fatalf("trace export holds %d http.query root spans, want 2", roots)
+	}
+}
+
+func TestTracesEndpointTextFormat(t *testing.T) {
+	h, _ := tracedHandler(t)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/query?owner=alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/v1/traces?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "http.query") {
+		t.Fatalf("text dump missing root span:\n%s", body)
+	}
+}
+
+func TestUntracedHandlerHasNoTraceRoutes(t *testing.T) {
+	pub, err := bitmat.New(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := index.NewServer(pub, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHandler(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/v1/traces on an untraced handler returned %d, want 404", resp.StatusCode)
+	}
+}

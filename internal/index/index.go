@@ -5,12 +5,14 @@
 package index
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"repro/internal/bitmat"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // ErrUnknownOwner reports a query for an owner absent from the index.
@@ -98,15 +100,29 @@ func (s *Server) Names() []string {
 // records of the owner. The list includes the noise providers that give the
 // index its privacy.
 func (s *Server) Query(owner string) ([]int, error) {
+	return s.QueryCtx(context.Background(), owner)
+}
+
+// QueryCtx is Query with an explicit context. When ctx carries a trace
+// span, the lookup records an "index.query" child span annotated with the
+// outcome (fan-out, or unknown_owner). With no span in ctx the tracing
+// path is a no-op and allocates nothing.
+func (s *Server) QueryCtx(ctx context.Context, owner string) ([]int, error) {
+	_, sp := trace.StartChild(ctx, "index.query")
 	j, ok := s.byName[owner]
 	if !ok {
 		s.unknown.Add(1)
 		if in := s.inst.Load(); in != nil {
 			in.unknown.Inc()
 		}
+		sp.Set("outcome", "unknown_owner")
+		sp.End()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownOwner, owner)
 	}
-	return s.QueryColumn(j), nil
+	result := s.QueryColumn(j)
+	sp.SetInt("fanout", len(result))
+	sp.End()
+	return result, nil
 }
 
 // QueryColumn is Query by column number.

@@ -1,0 +1,85 @@
+// Package logx configures structured logging (log/slog) for the ε-PPI
+// binaries. Every logger it builds carries trace correlation: records
+// logged with a context holding an active trace span (internal/trace)
+// gain trace_id and span_id attributes, so log lines join up with the
+// span trees served at /v1/traces.
+package logx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// New builds a logger writing to w. level is one of debug, info, warn,
+// error (case-insensitive); format is text or json. The returned logger's
+// handler is wrapped so context-carried trace spans annotate every record.
+func New(w io.Writer, level, format string) (*slog.Logger, error) {
+	lvl, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("logx: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(WithTrace(h)), nil
+}
+
+// ParseLevel maps a level name to its slog.Level.
+func ParseLevel(level string) (slog.Level, error) {
+	switch strings.ToLower(level) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("logx: unknown log level %q (want debug, info, warn or error)", level)
+}
+
+// WithTrace wraps h so that records logged under a context carrying an
+// active span gain trace_id and span_id attributes. Records logged with
+// a spanless context pass through untouched.
+func WithTrace(h slog.Handler) slog.Handler {
+	return traceHandler{inner: h}
+}
+
+type traceHandler struct {
+	inner slog.Handler
+}
+
+func (t traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return t.inner.Enabled(ctx, level)
+}
+
+func (t traceHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sp := trace.FromContext(ctx); sp != nil {
+		r.AddAttrs(
+			slog.String("trace_id", sp.TraceID().String()),
+			slog.String("span_id", sp.ID().String()),
+		)
+	}
+	return t.inner.Handle(ctx, r)
+}
+
+func (t traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{inner: t.inner.WithAttrs(attrs)}
+}
+
+func (t traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{inner: t.inner.WithGroup(name)}
+}

@@ -1,0 +1,91 @@
+package logx
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(&bytes.Buffer{}, "loud", "text"); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if _, err := New(&bytes.Buffer{}, "info", "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestLevelFilters(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := New(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("too quiet")
+	lg.Warn("loud enough")
+	out := buf.String()
+	if strings.Contains(out, "too quiet") {
+		t.Error("info record passed a warn-level logger")
+	}
+	if !strings.Contains(out, "loud enough") {
+		t.Error("warn record filtered out")
+	}
+}
+
+func TestTraceCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := New(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(2)
+	ctx, sp := tr.StartRoot(context.Background(), "op")
+	lg.InfoContext(ctx, "inside span")
+	lg.InfoContext(context.Background(), "outside span")
+	sp.End()
+
+	dec := json.NewDecoder(&buf)
+	var inside, outside map[string]any
+	if err := dec.Decode(&inside); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&outside); err != nil {
+		t.Fatal(err)
+	}
+	if inside["trace_id"] != sp.TraceID().String() {
+		t.Errorf("trace_id = %v, want %v", inside["trace_id"], sp.TraceID().String())
+	}
+	if inside["span_id"] != sp.ID().String() {
+		t.Errorf("span_id = %v, want %v", inside["span_id"], sp.ID().String())
+	}
+	if _, has := outside["trace_id"]; has {
+		t.Error("spanless record gained a trace_id")
+	}
+}
+
+func TestWithAttrsPreservesTraceWrapping(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := New(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(2)
+	ctx, sp := tr.StartRoot(context.Background(), "op")
+	defer sp.End()
+	lg.With(slog.String("component", "test")).InfoContext(ctx, "derived logger")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["component"] != "test" {
+		t.Error("WithAttrs attribute lost")
+	}
+	if rec["trace_id"] != sp.TraceID().String() {
+		t.Error("derived logger lost trace correlation")
+	}
+}

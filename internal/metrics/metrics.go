@@ -231,6 +231,9 @@ type Registry struct {
 	mu     sync.Mutex
 	series map[string]*series // keyed by name + label signature
 	kinds  map[string]Kind    // family name → kind
+
+	collectMu sync.Mutex
+	onCollect []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -341,12 +344,37 @@ func seriesKey(name string, sorted []Label) string {
 	return sb.String()
 }
 
+// OnCollect registers fn to run at the start of every scrape (WriteTo or
+// Snapshot), before series are read. Collectors refresh pull-style values
+// — typically Gauge.Set from some live source — so scrapes observe
+// current state without a background poller. Callbacks run outside the
+// registry lock (they may create or set instruments) but under a
+// dedicated collect lock, so concurrent scrapes do not interleave them.
+func (r *Registry) OnCollect(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.collectMu.Lock()
+	r.onCollect = append(r.onCollect, fn)
+	r.collectMu.Unlock()
+}
+
+// collect runs the registered collectors.
+func (r *Registry) collect() {
+	r.collectMu.Lock()
+	defer r.collectMu.Unlock()
+	for _, fn := range r.onCollect {
+		fn()
+	}
+}
+
 // snapshotSeries returns all series sorted by (name, label signature) for
 // deterministic exposition.
 func (r *Registry) snapshotSeries() []*series {
 	if r == nil {
 		return nil
 	}
+	r.collect()
 	r.mu.Lock()
 	out := make([]*series, 0, len(r.series))
 	for _, s := range r.series {

@@ -1,0 +1,35 @@
+package metrics
+
+import "runtime"
+
+// RegisterRuntime registers pull-style Go runtime telemetry on reg:
+//
+//	eppi_go_goroutines          live goroutine count
+//	eppi_go_heap_alloc_bytes    bytes of allocated heap objects
+//	eppi_go_heap_sys_bytes      heap memory obtained from the OS
+//	eppi_go_gc_pause_seconds_total  cumulative stop-the-world GC pause time
+//	eppi_go_gc_runs_total       completed GC cycles
+//
+// The gauges are refreshed on every scrape via OnCollect — there is no
+// background poller, so an idle registry costs nothing. Safe to call on a
+// nil registry (no-op); calling it twice registers a second collector but
+// the idempotent instrument accessors keep the series identical.
+func RegisterRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	goroutines := reg.Gauge("eppi_go_goroutines", "Live goroutine count.")
+	heapAlloc := reg.Gauge("eppi_go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	heapSys := reg.Gauge("eppi_go_heap_sys_bytes", "Heap memory obtained from the OS.")
+	gcPause := reg.Gauge("eppi_go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.")
+	gcRuns := reg.Gauge("eppi_go_gc_runs_total", "Completed GC cycles.")
+	reg.OnCollect(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapSys.Set(float64(ms.HeapSys))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		gcRuns.Set(float64(ms.NumGC))
+	})
+}

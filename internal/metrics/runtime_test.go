@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeRefreshesOnScrape(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"eppi_go_goroutines", "eppi_go_heap_alloc_bytes", "eppi_go_heap_sys_bytes",
+		"eppi_go_gc_pause_seconds_total", "eppi_go_gc_runs_total",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	// Values must be live, not zero-valued placeholders: at least one
+	// goroutine (this test) and a nonzero heap are always running.
+	if g := reg.Gauge("eppi_go_goroutines", "").Value(); g < 1 {
+		t.Errorf("goroutines gauge = %v, want >= 1", g)
+	}
+	if h := reg.Gauge("eppi_go_heap_alloc_bytes", "").Value(); h <= 0 {
+		t.Errorf("heap gauge = %v, want > 0", h)
+	}
+}
+
+func TestOnCollectRunsPerScrape(t *testing.T) {
+	reg := NewRegistry()
+	calls := 0
+	g := reg.Gauge("test_scrapes", "")
+	reg.OnCollect(func() {
+		calls++
+		g.Set(float64(calls))
+	})
+	var sb strings.Builder
+	reg.WriteTo(&sb)
+	reg.Snapshot()
+	if calls != 2 {
+		t.Fatalf("collector ran %d times over 2 scrapes", calls)
+	}
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %v, want 2", g.Value())
+	}
+}
+
+func TestOnCollectNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.OnCollect(func() {})                  // must not panic
+	RegisterRuntime(reg)                      // must not panic
+	NewRegistry().OnCollect(nil)              // nil collector ignored
+	NewRegistry().WriteTo(&strings.Builder{}) // no collectors registered
+}

@@ -4,6 +4,7 @@
 package searcher
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/provider"
+	"repro/internal/trace"
 )
 
 // ErrNoProviders reports a searcher constructed over an empty network.
@@ -105,14 +107,23 @@ const searchConcurrency = 16
 // collects whatever the ACLs allow, as a real federated search must.
 // Results are deterministic: records are ordered by provider id.
 func (s *Searcher) Search(owner string) (*Result, error) {
+	return s.SearchCtx(context.Background(), owner)
+}
+
+// SearchCtx is Search with an explicit context. When ctx carries a trace
+// span, both phases record child spans: "index.query" (inside QueryCtx)
+// and "searcher.auth_search" covering the probe fan-out, annotated with
+// the contacted/true-positive/false-positive/denied breakdown.
+func (s *Searcher) SearchCtx(ctx context.Context, owner string) (*Result, error) {
 	in := s.inst.Load()
-	candidates, err := s.server.Query(owner)
+	candidates, err := s.server.QueryCtx(ctx, owner)
 	if err != nil {
 		return nil, fmt.Errorf("QueryPPI: %w", err)
 	}
 	if in != nil {
 		in.searches.Inc()
 	}
+	_, probeSpan := trace.StartChild(ctx, "searcher.auth_search")
 	type probe struct {
 		pid  int
 		recs []provider.Record
@@ -145,6 +156,8 @@ func (s *Searcher) Search(owner string) (*Result, error) {
 				res.Denied++
 				continue
 			}
+			probeSpan.Set("error", p.err.Error())
+			probeSpan.End()
 			return nil, fmt.Errorf("AuthSearch at provider %d: %w", p.pid, p.err)
 		}
 		if len(p.recs) == 0 {
@@ -159,6 +172,11 @@ func (s *Searcher) Search(owner string) (*Result, error) {
 		in.falsePos.Add(uint64(res.FalsePositives))
 		in.denied.Add(uint64(res.Denied))
 	}
+	probeSpan.SetInt("contacted", res.Contacted)
+	probeSpan.SetInt("true_positives", res.TruePositives)
+	probeSpan.SetInt("false_positives", res.FalsePositives)
+	probeSpan.SetInt("denied", res.Denied)
+	probeSpan.End()
 	return res, nil
 }
 

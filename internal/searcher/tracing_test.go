@@ -1,0 +1,47 @@
+package searcher
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSearchCtxRecordsBothPhases(t *testing.T) {
+	server, providers := buildSystem(t)
+	for _, p := range providers {
+		p.Grant("dr")
+	}
+	s, err := New("dr", server, providers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(2)
+	ctx, root := tr.StartRoot(context.Background(), "search")
+	res, err := s.SearchCtx(ctx, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	spans := tr.Recent()[0].Spans
+	var query, probe bool
+	for _, sp := range spans {
+		switch sp.Name {
+		case "index.query":
+			query = true
+		case "searcher.auth_search":
+			probe = true
+			attrs := map[string]string{}
+			for _, a := range sp.Attrs {
+				attrs[a.Key] = a.Value
+			}
+			if attrs["contacted"] != "3" || attrs["true_positives"] != "2" ||
+				attrs["false_positives"] != "1" || attrs["denied"] != "0" {
+				t.Errorf("auth_search attrs = %v, result = %+v", attrs, res)
+			}
+		}
+	}
+	if !query || !probe {
+		t.Fatalf("missing phase spans (index.query=%v auth_search=%v)", query, probe)
+	}
+}

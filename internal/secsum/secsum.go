@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/secretshare"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -74,9 +75,13 @@ func Run(net transport.Network, scheme secretshare.Scheme, inputs [][]uint64, se
 
 	// Phase timers report through whatever registry the caller attached to
 	// the network (transport.Instrument); with no registry every instrument
-	// is a nil no-op.
+	// is a nil no-op. Likewise, phase spans hang under whatever span the
+	// caller attached (transport.AttachSpan); party 0 records them as the
+	// representative provider (it plays every role, coordinator included).
 	tm := newTimers(transport.RegistryOf(net))
 	tm.runs.Inc()
+	runSpan := transport.SpanOf(net)
+	runSpan.SetAttrs(trace.Int("parties", m), trace.Int("identities", numIDs), trace.Int("rounds", 2))
 	before := net.Stats()
 	coordShares := make([][]uint64, c)
 	errs := make([]error, m)
@@ -89,8 +94,12 @@ func Run(net transport.Network, scheme secretshare.Scheme, inputs [][]uint64, se
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			var sp *trace.Span
+			if i == 0 {
+				sp = runSpan
+			}
 			rng := rand.New(rand.NewSource(seed + int64(i)*7919))
-			shares, err := runProvider(net.Node(i), scheme, inputs[i], rng, tm)
+			shares, err := runProvider(net.Node(i), scheme, inputs[i], rng, tm, sp)
 			if err != nil {
 				errs[i] = fmt.Errorf("provider %d: %w", i, err)
 				failOnce.Do(func() { net.Close() })
@@ -151,8 +160,9 @@ func newTimers(reg *metrics.Registry) *timers {
 }
 
 // runProvider executes one provider's role. Coordinators (id < c) return
-// their aggregated share vector; other providers return nil.
-func runProvider(node transport.Node, scheme secretshare.Scheme, input []uint64, rng *rand.Rand, tm *timers) ([]uint64, error) {
+// their aggregated share vector; other providers return nil. sp, when
+// non-nil (party 0), parents per-phase child spans.
+func runProvider(node transport.Node, scheme secretshare.Scheme, input []uint64, rng *rand.Rand, tm *timers, sp *trace.Span) ([]uint64, error) {
 	m := node.Size()
 	c := scheme.Shares()
 	f := scheme.Field()
@@ -160,6 +170,7 @@ func runProvider(node transport.Node, scheme secretshare.Scheme, input []uint64,
 	id := node.ID()
 
 	phaseStart := time.Now()
+	phaseSpan := sp.Child("secsum.distribute")
 	// Step 1: generate shares. perDest[k][j] is the k-th share of input[j],
 	// destined for successor (id+k) mod m; k=0 stays local.
 	perDest := make([][]uint64, c)
@@ -183,7 +194,9 @@ func runProvider(node transport.Node, scheme secretshare.Scheme, input []uint64,
 	}
 
 	tm.distribute.ObserveSince(phaseStart)
+	phaseSpan.End()
 	phaseStart = time.Now()
+	phaseSpan = sp.Child("secsum.aggregate")
 
 	// Step 3: receive c-1 share vectors from predecessors and fold them,
 	// together with the locally kept k=0 share, into the super-share.
@@ -214,12 +227,15 @@ func runProvider(node transport.Node, scheme secretshare.Scheme, input []uint64,
 		return nil, fmt.Errorf("send super-share: %w", err)
 	}
 	tm.aggregate.ObserveSince(phaseStart)
+	phaseSpan.End()
 
 	if id >= c {
 		return nil, nil
 	}
 	phaseStart = time.Now()
 	defer tm.coordinate.ObserveSince(phaseStart)
+	phaseSpan = sp.Child("secsum.coordinate")
+	defer phaseSpan.End()
 
 	// Coordinator role: gather super-shares from every provider p with
 	// p mod c == id (including our own, sent above) and sum them.

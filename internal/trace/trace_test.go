@@ -1,0 +1,303 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// newTrace runs one root with a small span tree and returns the sealed
+// trace.
+func newTestTrace(t *testing.T, tr *Tracer, rootName string) *Trace {
+	t.Helper()
+	before := tr.Len()
+	ctx, root := tr.StartRoot(context.Background(), rootName, A("kind", "test"))
+	if root == nil {
+		t.Fatalf("StartRoot returned nil span")
+	}
+	ctx2, child := StartChild(ctx, "child", Int("i", 1))
+	if child == nil {
+		t.Fatalf("StartChild returned nil under an active span")
+	}
+	_, grand := StartChild(ctx2, "grandchild")
+	grand.SetInt("depth", 2)
+	grand.End()
+	child.End()
+	sibling := root.Child("sibling")
+	sibling.AddTraffic(3, 120)
+	sibling.End()
+	root.End()
+	want := before + 1
+	if want > tr.capacity {
+		want = tr.capacity
+	}
+	if tr.Len() != want {
+		t.Fatalf("trace not sealed: Len=%d want %d", tr.Len(), want)
+	}
+	recent := tr.Recent()
+	return recent[len(recent)-1]
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := New(4)
+	sealed := newTestTrace(t, tr, "root")
+	if got := len(sealed.Spans); got != 4 {
+		t.Fatalf("sealed %d spans, want 4", got)
+	}
+	root := sealed.Root()
+	if root.Name != "root" {
+		t.Fatalf("root span is %q, want root (spans must seal root-last)", root.Name)
+	}
+	if root.Parent != 0 {
+		t.Fatalf("root has parent %v", root.Parent)
+	}
+	byName := map[string]SpanData{}
+	for _, sp := range sealed.Spans {
+		byName[sp.Name] = sp
+	}
+	if byName["child"].Parent != root.ID {
+		t.Errorf("child parent = %v, want root %v", byName["child"].Parent, root.ID)
+	}
+	if byName["grandchild"].Parent != byName["child"].ID {
+		t.Errorf("grandchild parent = %v, want child %v", byName["grandchild"].Parent, byName["child"].ID)
+	}
+	if byName["sibling"].Messages != 3 || byName["sibling"].Bytes != 120 {
+		t.Errorf("traffic attribution = %d msgs/%d bytes, want 3/120",
+			byName["sibling"].Messages, byName["sibling"].Bytes)
+	}
+	for _, sp := range sealed.Spans {
+		if sp.End.Before(sp.Start) {
+			t.Errorf("span %s ends before it starts", sp.Name)
+		}
+	}
+}
+
+func TestRingEvictionOrder(t *testing.T) {
+	tr := New(3)
+	var ids []TraceID
+	for i := 0; i < 5; i++ {
+		sealed := newTestTrace(t, tr, "run")
+		ids = append(ids, sealed.ID)
+	}
+	recent := tr.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring holds %d traces, want capacity 3", len(recent))
+	}
+	// Oldest two evicted; survivors in oldest→newest order.
+	for i, tr := range recent {
+		if tr.ID != ids[i+2] {
+			t.Errorf("ring[%d] = %v, want %v (eviction must drop oldest first)", i, tr.ID, ids[i+2])
+		}
+	}
+}
+
+func TestNoopFastPathAllocs(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c2, sp := StartChild(ctx, "hot")
+		sp.SetInt("n", 42)
+		sp.Set("k", "v")
+		sp.AddTraffic(1, 8)
+		sp.End()
+		_ = c2
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-tracing fast path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartRoot(context.Background(), "x")
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	if got := FromContext(ctx); got != nil {
+		t.Fatal("nil tracer installed a span in context")
+	}
+	sp.End() // must not panic
+	if sp.Child("y") != nil {
+		t.Fatal("nil span produced a child")
+	}
+	if tr.Recent() != nil || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer reports state")
+	}
+}
+
+func TestStragglerSpanDropped(t *testing.T) {
+	tr := New(2)
+	_, root := tr.StartRoot(context.Background(), "root")
+	straggler := root.Child("late")
+	root.End()
+	straggler.End() // trace already sealed
+	if tr.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", tr.Dropped())
+	}
+	if got := len(tr.Recent()[0].Spans); got != 1 {
+		t.Fatalf("sealed trace has %d spans, want 1 (straggler excluded)", got)
+	}
+}
+
+func TestStartRemoteJoinsTraceID(t *testing.T) {
+	tr := New(2)
+	id, parent := TraceID(0xabc123), SpanID(0xdef456)
+	ctx, sp := tr.StartRemote(context.Background(), "server.root", id, parent)
+	if sp.TraceID() != id {
+		t.Fatalf("remote span trace = %v, want %v", sp.TraceID(), id)
+	}
+	_, child := StartChild(ctx, "inner")
+	child.End()
+	sp.End()
+	sealed := tr.Recent()[0]
+	if sealed.ID != id {
+		t.Fatalf("sealed trace id = %v, want propagated %v", sealed.ID, id)
+	}
+	if sealed.Root().Parent != parent {
+		t.Fatalf("remote root parent = %v, want %v", sealed.Root().Parent, parent)
+	}
+}
+
+func TestParseIDRoundTrip(t *testing.T) {
+	id := TraceID(0x1f2e3d4c5b6a7988)
+	v, ok := ParseID(id.String())
+	if !ok || TraceID(v) != id {
+		t.Fatalf("ParseID(%q) = %x, %v", id.String(), v, ok)
+	}
+	if _, ok := ParseID("nope"); ok {
+		t.Fatal("ParseID accepted garbage")
+	}
+	if _, ok := ParseID(""); ok {
+		t.Fatal("ParseID accepted empty")
+	}
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	tr := New(4)
+	newTestTrace(t, tr, "req")
+	newTestTrace(t, tr, "req")
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Recent()); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 2 traces × (1 metadata + 4 spans).
+	if got := len(file.TraceEvents); got != 10 {
+		t.Fatalf("%d trace events, want 10", got)
+	}
+	var completes, metas int
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			completes++
+			if ev.Dur < 0 || ev.Ts <= 0 {
+				t.Errorf("event %q has ts=%v dur=%v", ev.Name, ev.Ts, ev.Dur)
+			}
+		case "M":
+			metas++
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if completes != 8 || metas != 2 {
+		t.Fatalf("got %d X / %d M events, want 8 / 2", completes, metas)
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatalf("WriteChrome(nil): %v", err)
+	}
+	var file map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("empty output is not valid JSON: %v", err)
+	}
+	if _, ok := file["traceEvents"]; !ok {
+		t.Fatal("empty output lacks traceEvents key")
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	tr := New(2)
+	newTestTrace(t, tr, "construct")
+	var buf bytes.Buffer
+	if err := tr.WriteTrees(&buf); err != nil {
+		t.Fatalf("WriteTrees: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"construct", "child", "grandchild", "sibling", "3 msgs 120B", "kind=test"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree dump missing %q:\n%s", want, out)
+		}
+	}
+	// Nesting: grandchild must be indented deeper than child.
+	childLine, grandLine := lineOf(out, "child "), lineOf(out, "grandchild ")
+	if indentOf(grandLine) <= indentOf(childLine) {
+		t.Errorf("grandchild not nested under child:\n%s", out)
+	}
+}
+
+func lineOf(s, substr string) string {
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			return l
+		}
+	}
+	return ""
+}
+
+func indentOf(l string) int {
+	return strings.Index(l, "─")
+}
+
+func TestSpanCapBoundsTrace(t *testing.T) {
+	tr := New(1)
+	_, root := tr.StartRoot(context.Background(), "big")
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		root.Child("c").End()
+	}
+	root.End()
+	if got := len(tr.Recent()[0].Spans); got != maxSpansPerTrace+1 {
+		t.Fatalf("trace holds %d spans, want cap %d + root", got, maxSpansPerTrace)
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("over-cap spans not counted as dropped")
+	}
+}
+
+func BenchmarkStartChildDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartChild(ctx, "hot")
+		sp.SetInt("n", i)
+		sp.End()
+	}
+}
+
+func BenchmarkStartChildEnabled(b *testing.B) {
+	tr := New(8)
+	ctx, root := tr.StartRoot(context.Background(), "bench")
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartChild(ctx, "hot")
+		sp.End()
+	}
+}

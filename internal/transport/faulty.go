@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // FaultPlan configures deterministic fault injection for tests: the ε-PPI
@@ -69,6 +70,12 @@ func (f *FaultyNetwork) Instrument(reg *metrics.Registry) { Instrument(f.inner, 
 
 // Metrics returns the inner network's registry, or nil.
 func (f *FaultyNetwork) Metrics() *metrics.Registry { return RegistryOf(f.inner) }
+
+// SetTraceSpan forwards to the inner network when it supports tracing.
+func (f *FaultyNetwork) SetTraceSpan(sp *trace.Span) { AttachSpan(f.inner, sp) }
+
+// TraceSpan returns the inner network's span, or nil.
+func (f *FaultyNetwork) TraceSpan() *trace.Span { return SpanOf(f.inner) }
 
 // decide returns the fate of one message under the plan.
 func (f *FaultyNetwork) decide(from int) (drop, corrupt, fail bool) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // InMemNetwork is a process-local network of n parties backed by mailbox
@@ -45,6 +46,13 @@ func (n *InMemNetwork) Instrument(reg *metrics.Registry) { n.stats.instrument(re
 // Metrics returns the registry installed by Instrument, or nil.
 func (n *InMemNetwork) Metrics() *metrics.Registry { return n.stats.registry() }
 
+// SetTraceSpan installs sp as the active span: subsequent messages carry
+// its trace id and their traffic accumulates on it.
+func (n *InMemNetwork) SetTraceSpan(sp *trace.Span) { n.stats.setSpan(sp) }
+
+// TraceSpan returns the span installed by SetTraceSpan, or nil.
+func (n *InMemNetwork) TraceSpan() *trace.Span { return n.stats.traceSpan() }
+
 // Close shuts down all nodes.
 func (n *InMemNetwork) Close() error {
 	for _, node := range n.nodes {
@@ -70,6 +78,7 @@ func (n *inMemNode) Send(to int, m Message) error {
 	}
 	m.From = n.id
 	m.To = to
+	n.net.stats.stamp(&m)
 	// Copy the payload so sender-side reuse of buffers cannot race with the
 	// receiver (slices share backing arrays across goroutines otherwise).
 	if m.Data != nil {

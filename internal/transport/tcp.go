@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // TCPNetwork is a full-mesh TCP network over loopback: party i maintains a
@@ -131,6 +132,14 @@ func (t *TCPNetwork) Instrument(reg *metrics.Registry) { t.stats.instrument(reg)
 // Metrics returns the registry installed by Instrument, or nil.
 func (t *TCPNetwork) Metrics() *metrics.Registry { return t.stats.registry() }
 
+// SetTraceSpan installs sp as the active span: subsequent messages carry
+// its trace id (across the gob framing) and their traffic accumulates on
+// it.
+func (t *TCPNetwork) SetTraceSpan(sp *trace.Span) { t.stats.setSpan(sp) }
+
+// TraceSpan returns the span installed by SetTraceSpan, or nil.
+func (t *TCPNetwork) TraceSpan() *trace.Span { return t.stats.traceSpan() }
+
 // Close shuts down every node and joins all reader goroutines.
 func (t *TCPNetwork) Close() error {
 	var first error
@@ -206,6 +215,7 @@ func (n *tcpNode) Send(to int, m Message) error {
 	}
 	m.From = n.id
 	m.To = to
+	n.net.stats.stamp(&m)
 	n.net.stats.record(m)
 	if to == n.id {
 		return n.mb.put(m)

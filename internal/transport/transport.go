@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Kind tags the protocol step a message belongs to.
@@ -67,18 +68,24 @@ func (k Kind) String() string {
 
 // Message is a routed protocol message. Data carries field elements or
 // packed bits depending on Kind; Seq disambiguates rounds or batches.
+// Trace carries the id of the trace active on the sending network (0 when
+// tracing is off); both transports round-trip it, so per-trace traffic
+// attribution survives gob framing on the TCP path.
 type Message struct {
-	From int
-	To   int
-	Kind Kind
-	Seq  uint32
-	Data []uint64
+	From  int
+	To    int
+	Kind  Kind
+	Seq   uint32
+	Trace uint64
+	Data  []uint64
 }
 
 // wireSize approximates the serialized size of the message in bytes; used
-// for traffic accounting in both transports.
+// for traffic accounting in both transports. The 24-byte header is the
+// routing fields (From, To, Kind, Seq ≈ 16 bytes) plus the 8-byte trace
+// id, so Collector traffic numbers stay honest with tracing on.
 func (m Message) wireSize() int {
-	return 16 + 8*len(m.Data)
+	return 24 + 8*len(m.Data)
 }
 
 // ErrClosed is returned by Send/Recv on a closed node.
@@ -151,6 +158,42 @@ func RegistryOf(n Network) *metrics.Registry {
 	return nil
 }
 
+// SpanCarrier is implemented by networks whose traffic can be attributed
+// to an active trace span.
+type SpanCarrier interface {
+	// SetTraceSpan installs sp as the active span: subsequent messages are
+	// stamped with its trace id and their bytes/messages accumulate on it.
+	SetTraceSpan(sp *trace.Span)
+	// TraceSpan returns the installed span (nil before SetTraceSpan).
+	TraceSpan() *trace.Span
+}
+
+// AttachSpan installs sp as the active span of n if the network supports
+// it (both built-in networks do; wrappers forward). It reports whether the
+// wiring happened. A nil span is a no-op.
+func AttachSpan(n Network, sp *trace.Span) bool {
+	if sp == nil {
+		return false
+	}
+	sc, ok := n.(SpanCarrier)
+	if !ok {
+		return false
+	}
+	sc.SetTraceSpan(sp)
+	return true
+}
+
+// SpanOf returns the span attached to n, or nil. Protocols (secsum, gmw,
+// OT preprocessing) use it to hang their phase spans under whatever span
+// the caller attached to the network — the same no-signature-change
+// pattern as RegistryOf.
+func SpanOf(n Network) *trace.Span {
+	if sc, ok := n.(SpanCarrier); ok {
+		return sc.TraceSpan()
+	}
+	return nil
+}
+
 // maxKind bounds the per-kind instrument arrays (kinds are small iota
 // constants starting at 1).
 const maxKind = int(KindOT) + 1
@@ -170,6 +213,7 @@ type counter struct {
 	messages atomic.Uint64
 	bytes    atomic.Uint64
 	inst     atomic.Pointer[netInstruments]
+	span     atomic.Pointer[trace.Span]
 }
 
 func (c *counter) instrument(reg *metrics.Registry) {
@@ -196,6 +240,18 @@ func (c *counter) registry() *metrics.Registry {
 	return nil
 }
 
+func (c *counter) setSpan(sp *trace.Span) { c.span.Store(sp) }
+
+func (c *counter) traceSpan() *trace.Span { return c.span.Load() }
+
+// stamp writes the active trace id into the message header before it hits
+// the wire (a no-op when no span is attached).
+func (c *counter) stamp(m *Message) {
+	if sp := c.span.Load(); sp != nil {
+		m.Trace = uint64(sp.TraceID())
+	}
+}
+
 func (c *counter) record(m Message) {
 	c.messages.Add(1)
 	size := uint64(m.wireSize())
@@ -207,6 +263,9 @@ func (c *counter) record(m Message) {
 			in.perKindM[k].Inc()
 			in.perKindB[k].Add(size)
 		}
+	}
+	if sp := c.span.Load(); sp != nil {
+		sp.AddTraffic(1, size)
 	}
 }
 

@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# Smoke test: boot eppi-serve on a demo index, run one query, and assert
+# the observability surface works end to end — /v1/healthz answers,
+# /v1/query returns providers, /v1/metrics exposes the runtime gauges,
+# and /v1/traces serves a non-empty Chrome trace whose root span is the
+# query request. Used by CI; runnable locally via `make smoke`.
+set -eu
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+BIN="${SMOKE_BIN:-./eppi-serve-smoke}"
+
+go build -o "$BIN" ./cmd/eppi-serve
+
+"$BIN" -addr "$ADDR" -providers 20 -owners 8 -log-format json &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$BIN"' EXIT
+
+# Wait for the server to come up (up to ~5s).
+i=0
+until curl -sf "$BASE/v1/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "smoke: server did not come up on $ADDR" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+echo "smoke: healthz ok"
+
+# One query (owner names are URLs; escape the owner:// scheme).
+QUERY_OUT=$(curl -sf "$BASE/v1/query?owner=owner%3A%2F%2Fsite-0.example.org")
+echo "$QUERY_OUT" | grep -q '"providers"' || {
+  echo "smoke: query response missing providers: $QUERY_OUT" >&2
+  exit 1
+}
+echo "smoke: query ok"
+
+# Metrics must include the runtime telemetry refreshed on scrape.
+METRICS_OUT=$(curl -sf "$BASE/v1/metrics")
+echo "$METRICS_OUT" | grep -q '^eppi_go_goroutines' || {
+  echo "smoke: metrics missing runtime telemetry" >&2
+  exit 1
+}
+echo "smoke: metrics ok"
+
+# The trace ring must hold the query's trace: valid Chrome trace JSON
+# with an http.query root span.
+TRACES_OUT=$(curl -sf "$BASE/v1/traces")
+echo "$TRACES_OUT" | grep -q '"traceEvents"' || {
+  echo "smoke: /v1/traces is not Chrome trace JSON: $TRACES_OUT" >&2
+  exit 1
+}
+echo "$TRACES_OUT" | grep -q '"http.query"' || {
+  echo "smoke: trace ring holds no http.query root span: $TRACES_OUT" >&2
+  exit 1
+}
+echo "smoke: traces ok"
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+echo "smoke: all checks passed"
