@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench race fuzz smoke experiments examples clean
+.PHONY: all build test vet bench bench-baseline race fuzz smoke experiments examples clean
 
 all: build vet test
 
@@ -12,11 +12,13 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -timeout turns a deadlocked parallel construction (a hung MPC session,
+# a leaked worker) into a stack-dumping failure instead of a stuck CI job.
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 15m ./...
 
 # Boot eppi-serve, run one query, and assert /v1/metrics and /v1/traces
 # answer with live data (see scripts/smoke.sh).
@@ -26,6 +28,11 @@ smoke:
 # One benchmark per paper table/figure (quick scale).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Refresh BENCH_baseline.json: per-experiment wall times of the quick
+# suite, the reference point for judging parallel-pipeline regressions.
+bench-baseline:
+	$(GO) run ./cmd/eppi-bench -experiment all -quick -metrics=false -baseline BENCH_baseline.json
 
 # Short fuzz session over every fuzz target.
 fuzz:

@@ -6,9 +6,14 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/mathx"
+	"repro/internal/workload"
 )
 
 func benchOpts(i int) experiments.Options {
@@ -124,5 +129,47 @@ func BenchmarkAblationDepth(b *testing.B) {
 		if _, err := experiments.AblationDepth(benchOpts(i)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkConstructParallel measures the construction hot path itself
+// (β thresholds, aggregation, mixing, randomized publication) at several
+// worker-pool sizes over the quick Fig4a workload. Output is bit-identical
+// across sub-benchmarks; only wall time may differ. On a multi-core
+// machine NumCPU workers should beat Workers=1 by roughly the core count;
+// compare against BENCH_baseline.json for regressions.
+func BenchmarkConstructParallel(b *testing.B) {
+	const samples = 30
+	freqs := make([]int, samples)
+	eps := make([]float64, samples)
+	for i := range freqs {
+		freqs[i] = 100
+		eps[i] = 0.8
+	}
+	d, err := workload.GenerateFixed(workload.FixedConfig{
+		Providers:   1000,
+		Frequencies: freqs,
+		Eps:         eps,
+		Seed:        1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := core.Config{
+				Policy:  mathx.PolicyChernoff,
+				Gamma:   0.9,
+				Mode:    core.ModeTrusted,
+				Seed:    1,
+				Workers: workers,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Construct(d.Matrix, d.Eps, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

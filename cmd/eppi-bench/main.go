@@ -57,6 +57,8 @@ func run(args []string, out io.Writer) error {
 	quick := fs.Bool("quick", false, "reduced scale for smoke runs")
 	format := fs.String("format", "text", "output format: text|csv")
 	transportName := fs.String("transport", "inmem", "protocol transport for fig6a/fig6c: inmem|tcp")
+	workers := fs.Int("workers", 0, "construction worker pool size (0 = NumCPU); results are identical at any value")
+	baseline := fs.String("baseline", "", "write per-experiment wall times as a JSON baseline to this file")
 	withMetrics := fs.Bool("metrics", true, "append a JSON metrics snapshot to text output")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -107,7 +109,7 @@ func run(args []string, out io.Writer) error {
 	if *transportName != "inmem" && *transportName != "tcp" {
 		return fmt.Errorf("unknown transport %q", *transportName)
 	}
-	opts := experiments.Options{Seed: *seed, Quick: *quick, TCP: *transportName == "tcp"}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, TCP: *transportName == "tcp", Workers: *workers}
 	var reg *metrics.Registry
 	if *withMetrics {
 		reg = metrics.NewRegistry()
@@ -135,6 +137,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	ran := false
+	var timings []baselineEntry
 	for _, exp := range all {
 		if *experiment != "all" && *experiment != exp.id {
 			continue
@@ -145,6 +148,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", exp.id, err)
 		}
+		timings = append(timings, baselineEntry{ID: exp.id, Seconds: time.Since(start).Seconds()})
 		if *format == "csv" {
 			if err := result.RenderCSV(out); err != nil {
 				return fmt.Errorf("%s: %w", exp.id, err)
@@ -157,6 +161,18 @@ func run(args []string, out io.Writer) error {
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
+	if *baseline != "" {
+		if err := writeBaseline(*baseline, baselineDoc{
+			Seed:        *seed,
+			Quick:       *quick,
+			Workers:     *workers,
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			Transport:   *transportName,
+			Experiments: timings,
+		}); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+	}
 	// The snapshot rides along with the text rendering only: CSV output is
 	// meant to be machine-piped per experiment and must stay schema-clean.
 	if reg != nil && *format == "text" {
@@ -165,6 +181,39 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// baselineEntry is one experiment's wall time in a baseline document.
+type baselineEntry struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
+// baselineDoc is the schema of -baseline output (BENCH_baseline.json):
+// enough run context to make later comparisons honest, plus the
+// per-experiment wall times.
+type baselineDoc struct {
+	Seed        int64           `json:"seed"`
+	Quick       bool            `json:"quick"`
+	Workers     int             `json:"workers"`
+	GoMaxProcs  int             `json:"gomaxprocs"`
+	Transport   string          `json:"transport"`
+	Experiments []baselineEntry `json:"experiments"`
+}
+
+// writeBaseline writes doc as indented JSON.
+func writeBaseline(path string, doc baselineDoc) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeSnapshot appends the registry contents gathered across the run —

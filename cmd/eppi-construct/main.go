@@ -49,6 +49,7 @@ func run(args []string, out io.Writer) error {
 	c := fs.Int("c", 3, "coordinator count (secure mode)")
 	tcp := fs.Bool("tcp", false, "use TCP loopback transport (secure mode)")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "construction worker pool size (0 = NumCPU); output is identical at any value")
 	zipf := fs.Float64("zipf", 1.1, "Zipf exponent of identity frequencies")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the construction to this file")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
@@ -84,11 +85,12 @@ func run(args []string, out io.Writer) error {
 	}
 
 	cfg := core.Config{
-		Policy: policy,
-		Delta:  *delta,
-		Gamma:  *gamma,
-		Mode:   core.ModeTrusted,
-		Seed:   *seed,
+		Policy:  policy,
+		Delta:   *delta,
+		Gamma:   *gamma,
+		Mode:    core.ModeTrusted,
+		Seed:    *seed,
+		Workers: *workers,
 	}
 	if *secure {
 		cfg.Mode = core.ModeSecure

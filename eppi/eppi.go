@@ -220,6 +220,14 @@ func WithSeed(seed int64) Option {
 	return func(o *options) { o.cfg.Seed = seed }
 }
 
+// WithWorkers bounds the construction worker pool (β-threshold shards,
+// concurrent MPC identity batches, publication shards). The default is
+// runtime.NumCPU(); 1 forces the sequential path. The constructed index
+// is bit-identical at any worker count for a given seed.
+func WithWorkers(workers int) Option {
+	return func(o *options) { o.cfg.Workers = workers }
+}
+
 // WithTracer records one span tree per ConstructPPI run into tr — the β
 // phase, SecSumShare, each MPC batch (OT preprocessing and GMW phases
 // included), mixing and publication. Export the result with

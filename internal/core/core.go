@@ -21,11 +21,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/bitmat"
 	"repro/internal/circuit"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -105,9 +107,16 @@ type Config struct {
 	XiOverride float64
 	// BatchSize caps the number of identities compiled into a single MPC
 	// circuit in ModeSecure; larger identity sets are processed in
-	// sequential batches, bounding circuit size and memory. 0 means one
-	// batch for everything.
+	// independent batches (run concurrently up to Workers, each over its
+	// own transport session), bounding circuit size and memory. 0 means
+	// one batch for everything.
 	BatchSize int
+	// Workers bounds the construction worker pool: β-threshold shards,
+	// column aggregation, concurrent MPC identity batches, and randomized
+	// publication shards all share it. 0 means runtime.NumCPU(); 1 forces
+	// the sequential path. Per-shard randomness is derived from Seed with
+	// mathx.DeriveSeed, so results are bit-identical at any worker count.
+	Workers int
 	// Triples selects the MPC preprocessing source (dealer by default;
 	// TripleOT runs the real oblivious-transfer protocol).
 	Triples TripleSource
@@ -138,6 +147,14 @@ func (c Config) coinBits() int {
 	return c.CoinBits
 }
 
+// workers resolves Config.Workers to the effective pool size.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
 var (
 	// ErrBadConfig reports an invalid configuration.
 	ErrBadConfig = errors.New("core: invalid configuration")
@@ -163,6 +180,9 @@ func (c Config) validate() error {
 	}
 	if c.BatchSize < 0 {
 		return fmt.Errorf("%w: batch size %d", ErrBadConfig, c.BatchSize)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("%w: workers %d", ErrBadConfig, c.Workers)
 	}
 	if c.Triples != TripleDealer && c.Triples != TripleOT {
 		return fmt.Errorf("%w: triple source %v", ErrBadConfig, c.Triples)
@@ -282,20 +302,35 @@ func ConstructCtx(ctx context.Context, truth *bitmat.Matrix, eps []float64, cfg 
 		ctx, root = cfg.Tracer.StartRoot(ctx, "core.construct")
 		defer root.End()
 	}
+	workers := cfg.workers()
 	ctx, runSpan := trace.StartChild(ctx, "core.construct.run",
 		trace.A("mode", cfg.Mode.String()), trace.A("policy", cfg.Policy.String()),
-		trace.Int("providers", m), trace.Int("identities", n))
+		trace.Int("providers", m), trace.Int("identities", n),
+		trace.Int("workers", workers))
 	defer runSpan.End()
+	if cfg.Metrics != nil {
+		cfg.Metrics.Gauge("eppi_construct_workers",
+			"Size of the construction worker pool of the most recent run.").Set(float64(workers))
+	}
 
 	// β policy evaluation: the public per-identity thresholds t_j
-	// (Algorithm 1's σ' computation).
-	_, betaSpan := trace.StartChild(ctx, "core.beta_thresholds")
+	// (Algorithm 1's σ' computation), sharded across the worker pool.
+	betaCtx, betaSpan := trace.StartChild(ctx, "core.beta_thresholds")
 	thresholds := make([]uint64, n)
-	for j := range thresholds {
-		thresholds[j] = cfg.Threshold(eps[j], m)
-	}
+	perr := parallel.Blocks(workers, n, colShard, func(_, lo, hi int) error {
+		_, sp := trace.StartChild(betaCtx, "core.beta_thresholds.shard",
+			trace.Int("lo", lo), trace.Int("hi", hi))
+		defer sp.End()
+		for j := lo; j < hi; j++ {
+			thresholds[j] = cfg.Threshold(eps[j], m)
+		}
+		return nil
+	})
 	betaSpan.SetInt("identities", n)
 	betaSpan.End()
+	if perr != nil {
+		return nil, perr
+	}
 
 	switch cfg.Mode {
 	case ModeTrusted:
@@ -306,20 +341,37 @@ func ConstructCtx(ctx context.Context, truth *bitmat.Matrix, eps []float64, cfg 
 }
 
 // constructTrusted runs the simulation path: frequencies in the clear.
+// Aggregation, mixing and publication are sharded across the worker pool;
+// every shard derives its randomness from (cfg.Seed, stage stream, shard
+// index), so the result is bit-identical at any worker count.
 func constructTrusted(ctx context.Context, truth *bitmat.Matrix, eps []float64, thresholds []uint64, cfg Config) (*Result, error) {
 	m, n := truth.Rows(), truth.Cols()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	_, aggSpan := trace.StartChild(ctx, "core.aggregate")
+	workers := cfg.workers()
+	aggCtx, aggSpan := trace.StartChild(ctx, "core.aggregate")
 	freqs := make([]uint64, n)
-	commons := 0
-	for j := 0; j < n; j++ {
-		freqs[j] = uint64(truth.ColCount(j))
-		if freqs[j] >= thresholds[j] {
-			commons++
+	shards := (n + colShard - 1) / colShard
+	partialCommons := make([]int, shards)
+	err := parallel.Blocks(workers, n, colShard, func(b, lo, hi int) error {
+		_, sp := trace.StartChild(aggCtx, "core.aggregate.shard",
+			trace.Int("lo", lo), trace.Int("hi", hi))
+		defer sp.End()
+		for j := lo; j < hi; j++ {
+			freqs[j] = uint64(truth.ColCount(j))
+			if freqs[j] >= thresholds[j] {
+				partialCommons[b]++
+			}
 		}
+		return nil
+	})
+	commons := 0
+	for _, p := range partialCommons {
+		commons += p
 	}
 	aggSpan.SetInt("commons", commons)
 	aggSpan.End()
+	if err != nil {
+		return nil, err
+	}
 	xi := cfg.XiOverride
 	if xi <= 0 {
 		for j := 0; j < n; j++ {
@@ -333,31 +385,39 @@ func constructTrusted(ctx context.Context, truth *bitmat.Matrix, eps []float64, 
 		return nil, err
 	}
 
-	// Identity mixing + per-identity β (Equations 6 and 7).
-	_, mixSpan := trace.StartChild(ctx, "core.mixing")
+	// Identity mixing + per-identity β (Equations 6 and 7). Each shard
+	// draws its mixing coins from its own derived stream.
+	mixCtx, mixSpan := trace.StartChild(ctx, "core.mixing")
 	hidden := make([]bool, n)
 	betas := make([]float64, n)
-	for j := 0; j < n; j++ {
-		if freqs[j] >= thresholds[j] || mathx.Bernoulli(rng, lambda) {
-			hidden[j] = true
-			betas[j] = 1
-			continue
+	err = parallel.Blocks(workers, n, colShard, func(b, lo, hi int) error {
+		_, sp := trace.StartChild(mixCtx, "core.mixing.shard",
+			trace.Int("lo", lo), trace.Int("hi", hi))
+		defer sp.End()
+		rng := rand.New(rand.NewSource(mathx.DeriveSeed(cfg.Seed, seedStreamMix, uint64(b))))
+		for j := lo; j < hi; j++ {
+			if freqs[j] >= thresholds[j] || mathx.Bernoulli(rng, lambda) {
+				hidden[j] = true
+				betas[j] = 1
+				continue
+			}
+			sigma := float64(freqs[j]) / float64(m)
+			bv, err := mathx.Beta(cfg.Policy, mathx.BetaParams{
+				Sigma: sigma, Epsilon: eps[j], M: m, Delta: cfg.Delta, Gamma: cfg.Gamma,
+			})
+			if err != nil {
+				return fmt.Errorf("β for identity %d: %w", j, err)
+			}
+			betas[j] = bv
 		}
-		sigma := float64(freqs[j]) / float64(m)
-		b, err := mathx.Beta(cfg.Policy, mathx.BetaParams{
-			Sigma: sigma, Epsilon: eps[j], M: m, Delta: cfg.Delta, Gamma: cfg.Gamma,
-		})
-		if err != nil {
-			mixSpan.End()
-			return nil, fmt.Errorf("β for identity %d: %w", j, err)
-		}
-		betas[j] = b
-	}
+		return nil
+	})
 	mixSpan.End()
+	if err != nil {
+		return nil, err
+	}
 
-	_, pubSpan := trace.StartChild(ctx, "core.publish")
-	published := Publish(truth, betas, rng)
-	pubSpan.End()
+	published := publishSharded(ctx, truth, betas, cfg.Seed, workers)
 	return &Result{
 		Published:   published,
 		Betas:       betas,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/gmw"
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 	"repro/internal/secretshare"
 	"repro/internal/secsum"
 	"repro/internal/trace"
@@ -17,8 +19,8 @@ import (
 )
 
 // addCircuitStats accumulates per-batch circuit statistics (sizes add;
-// depth takes the maximum, as batches run sequentially but each batch's
-// rounds are its own depth).
+// depth takes the maximum: each batch's rounds are its own depth, and
+// concurrent batches do not deepen any single circuit).
 func addCircuitStats(acc, s circuit.Stats) circuit.Stats {
 	acc.Wires += s.Wires
 	acc.Gates += s.Gates
@@ -32,6 +34,24 @@ func addCircuitStats(acc, s circuit.Stats) circuit.Stats {
 	return acc
 }
 
+// pickBatchErr selects the error to surface from a set of per-batch
+// results: the first (lowest-batch) error that is not a transport-closed
+// cascade, falling back to the first error. When one batch fails the
+// whole mux is closed to abort its siblings, so most entries are
+// ErrClosed victims of the real failure.
+func pickBatchErr(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil || (errors.Is(first, transport.ErrClosed) && !errors.Is(err, transport.ErrClosed)) {
+			first = err
+		}
+	}
+	return first
+}
+
 // constructSecure runs the real distributed pipeline of Section IV:
 //
 //	Stage A (m providers): SecSumShare → c coordinator share vectors over
@@ -43,6 +63,13 @@ func addCircuitStats(acc, s circuit.Stats) circuit.Stats {
 //	        hidden. β follows Equation 6.
 //	Phase 2 (every provider, local): randomized publication.
 //
+// The identity batches of stages B and C are independent computations, so
+// they run concurrently (up to Config.Workers), each over its own logical
+// session of one shared coordinator network (transport.SessionMux) so
+// concurrent batches never interleave messages. Per-batch randomness —
+// protocol seeds and mixing coins — derives from (Seed, stage stream,
+// batch index), keeping the whole run bit-identical at any worker count.
+//
 // ξ is taken over identities that *can* be common (public thresholds
 // t_j <= m); the trusted path uses the paper's exact max-over-true-commons,
 // which the secure path cannot evaluate without leaking the common set.
@@ -50,6 +77,7 @@ func addCircuitStats(acc, s circuit.Stats) circuit.Stats {
 func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, thresholds []uint64, cfg Config) (*Result, error) {
 	m, n := truth.Rows(), truth.Cols()
 	c := cfg.C
+	workers := cfg.workers()
 	if m < c {
 		return nil, fmt.Errorf("%w: %d providers cannot host %d coordinators", ErrBadConfig, m, c)
 	}
@@ -70,15 +98,18 @@ func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, t
 
 	// --- Stage A: SecSumShare over all m providers -------------------------
 	inputs := make([][]uint64, m)
-	for i := 0; i < m; i++ {
-		row := make([]uint64, n)
-		for j := 0; j < n; j++ {
-			if truth.Get(i, j) {
-				row[j] = 1
+	parallel.Blocks(workers, m, rowShard, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			row := make([]uint64, n)
+			for j := 0; j < n; j++ {
+				if truth.Get(i, j) {
+					row[j] = 1
+				}
 			}
+			inputs[i] = row
 		}
-		inputs[i] = row
-	}
+		return nil
+	})
 	provNet, err := newNet(m)
 	if err != nil {
 		return nil, fmt.Errorf("provider network: %w", err)
@@ -98,53 +129,80 @@ func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, t
 	stats.SecSum = sumRes.Stats
 	stats.SecSumRounds = sumRes.Rounds
 
-	// runMPC executes one coordinator-side secure computation, sourcing
-	// preprocessing per the configuration (dealer, or pairwise OT run over
-	// the same fresh network before the online phase). Each invocation is
-	// one span (stage names the circuit, lo/hi the identity batch), and the
-	// fresh network carries it so the GMW/OT phase spans nest underneath.
-	runMPC := func(stage string, lo, hi int, circ *circuit.Circuit, inputs [][]bool, seed int64) (*gmw.Result, error) {
-		mpcNet, err := newNet(c)
+	// One physical coordinator network for the whole run, multiplexed into
+	// per-batch sessions so concurrent batches cannot interleave messages.
+	// Registry instrumentation sits on the physical network (each wire
+	// message counted once); spans attach per session (exact per-batch
+	// attribution).
+	coordNet, err := newNet(c)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator network: %w", err)
+	}
+	transport.Instrument(coordNet, cfg.Metrics)
+	mux := transport.NewSessionMux(coordNet)
+	defer mux.Close()
+
+	// runMPC executes one coordinator-side secure computation over its own
+	// session, sourcing preprocessing per the configuration (sharded
+	// dealer, or pairwise OT run over the same session before the online
+	// phase). Each invocation is one span (stage names the circuit, lo/hi
+	// the identity batch); the session carries it so the GMW/OT phase
+	// spans nest underneath. On failure the whole mux is closed so
+	// sibling batches abort promptly instead of waiting on a dead peer.
+	runMPC := func(stage string, sessID uint32, lo, hi int, circ *circuit.Circuit, inputs [][]bool, seed int64) (*gmw.Result, error) {
+		sess, err := mux.Session(sessID)
 		if err != nil {
-			return nil, fmt.Errorf("coordinator network: %w", err)
+			return nil, fmt.Errorf("coordinator session: %w", err)
 		}
-		transport.Instrument(mpcNet, cfg.Metrics)
 		_, mpcSpan := trace.StartChild(ctx, stage,
 			trace.Int("batch_lo", lo), trace.Int("batch_hi", hi))
-		transport.AttachSpan(mpcNet, mpcSpan)
+		transport.AttachSpan(sess, mpcSpan)
 		defer mpcSpan.End()
 		var res *gmw.Result
 		if cfg.Triples == TripleOT {
-			triples, terr := gmw.GenTriplesOT(mpcNet, circ.Stats().AndGates, seed+7919)
+			triples, terr := gmw.GenTriplesOT(sess, circ.Stats().AndGates, seed+7919)
 			if terr != nil {
-				mpcNet.Close()
+				sess.Close()
+				mux.Close()
 				return nil, fmt.Errorf("OT preprocessing: %w", terr)
 			}
-			res, err = gmw.RunWithTriples(mpcNet, circ, inputs, triples, seed)
+			res, err = gmw.RunWithTriples(sess, circ, inputs, triples, seed)
 		} else {
-			res, err = gmw.Run(mpcNet, circ, inputs, seed)
+			var triples []gmw.PartyTriples
+			triples, err = gmw.GenTriplesSharded(seed, c, circ.Stats().AndGates, workers)
+			if err == nil {
+				res, err = gmw.RunWithTriples(sess, circ, inputs, triples, seed)
+			}
 		}
-		closeErr := mpcNet.Close()
+		sess.Close()
 		if err != nil {
+			mux.Close()
 			return nil, err
-		}
-		if closeErr != nil {
-			return nil, fmt.Errorf("coordinator network close: %w", closeErr)
 		}
 		return res, nil
 	}
 
 	// --- Stage B: CountBelow among the c coordinators ----------------------
 	// Identities are processed in batches (Config.BatchSize) so circuit
-	// size and memory stay bounded for large n. The per-batch common
+	// size and memory stay bounded for large n; the batches are
+	// independent and run concurrently up to Workers. The per-batch common
 	// counts are summed into the global count; batch boundaries are public
 	// parameters, so the extra release is the count granularity only.
 	batch := cfg.BatchSize
 	if batch <= 0 || batch > n {
 		batch = n
 	}
-	commonCount := 0
-	for lo := 0; lo < n; lo += batch {
+	nb := (n + batch - 1) / batch
+	type cbOut struct {
+		circ   circuit.Stats
+		count  int
+		stats  transport.Stats
+		rounds int
+	}
+	cbOuts := make([]cbOut, nb)
+	cbErrs := make([]error, nb)
+	parallel.For(workers, nb, func(b int) error {
+		lo := b * batch
 		hi := lo + batch
 		if hi > n {
 			hi = n
@@ -157,9 +215,9 @@ func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, t
 			Arithmetic: cfg.Arithmetic,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("compile CountBelow [%d:%d]: %w", lo, hi, err)
+			cbErrs[b] = fmt.Errorf("compile CountBelow [%d:%d]: %w", lo, hi, err)
+			return cbErrs[b]
 		}
-		stats.CountBelowCircuit = addCircuitStats(stats.CountBelowCircuit, cbCirc.Stats())
 		cbInputs := make([][]bool, c)
 		for k := 0; k < c; k++ {
 			bits := make([]bool, 0, (hi-lo)*shareBits)
@@ -168,14 +226,30 @@ func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, t
 			}
 			cbInputs[k] = bits
 		}
-		cbRes, err := runMPC("mpc.countbelow", lo, hi, cbCirc, cbInputs, cfg.Seed+1+int64(lo))
+		cbRes, err := runMPC("mpc.countbelow", uint32(1+2*b), lo, hi, cbCirc, cbInputs,
+			mathx.DeriveSeed(cfg.Seed, seedStreamCountBelow, uint64(b)))
 		if err != nil {
-			return nil, fmt.Errorf("CountBelow MPC [%d:%d]: %w", lo, hi, err)
+			cbErrs[b] = fmt.Errorf("CountBelow MPC [%d:%d]: %w", lo, hi, err)
+			return cbErrs[b]
 		}
-		commonCount += int(circuit.UnpackBits(cbRes.Outputs))
-		stats.MPC.Messages += cbRes.Stats.Messages
-		stats.MPC.Bytes += cbRes.Stats.Bytes
-		stats.MPCRounds += cbRes.Rounds
+		cbOuts[b] = cbOut{
+			circ:   cbCirc.Stats(),
+			count:  int(circuit.UnpackBits(cbRes.Outputs)),
+			stats:  cbRes.Stats,
+			rounds: cbRes.Rounds,
+		}
+		return nil
+	})
+	if err := pickBatchErr(cbErrs); err != nil {
+		return nil, err
+	}
+	commonCount := 0
+	for _, out := range cbOuts { // reduce in batch order: deterministic accounting
+		stats.CountBelowCircuit = addCircuitStats(stats.CountBelowCircuit, out.circ)
+		commonCount += out.count
+		stats.MPC.Messages += out.stats.Messages
+		stats.MPC.Bytes += out.stats.Bytes
+		stats.MPCRounds += out.rounds
 	}
 
 	// λ from the public count (Equation 7), with conservative public ξ.
@@ -202,11 +276,22 @@ func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, t
 	mixSpan.End()
 
 	// --- Stage C: Reveal among the c coordinators (same batching) ----------
-	coinRng := rand.New(rand.NewSource(cfg.Seed + 2))
+	// Mixing coins derive per batch from (Seed, seedStreamCoins, batch),
+	// so the coin sequence of a batch does not depend on which batches ran
+	// before it — the prerequisite for running them concurrently while
+	// keeping the run reproducible.
 	hidden := make([]bool, n)
 	betas := make([]float64, n)
 	per := 1 + shareBits
-	for lo := 0; lo < n; lo += batch {
+	type rvOut struct {
+		circ   circuit.Stats
+		stats  transport.Stats
+		rounds int
+	}
+	rvOuts := make([]rvOut, nb)
+	rvErrs := make([]error, nb)
+	parallel.For(workers, nb, func(b int) error {
+		lo := b * batch
 		hi := lo + batch
 		if hi > n {
 			hi = n
@@ -221,9 +306,10 @@ func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, t
 			Arithmetic:   cfg.Arithmetic,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("compile Reveal [%d:%d]: %w", lo, hi, err)
+			rvErrs[b] = fmt.Errorf("compile Reveal [%d:%d]: %w", lo, hi, err)
+			return rvErrs[b]
 		}
-		stats.RevealCircuit = addCircuitStats(stats.RevealCircuit, rvCirc.Stats())
+		coinRng := rand.New(rand.NewSource(mathx.DeriveSeed(cfg.Seed, seedStreamCoins, uint64(b))))
 		rvInputs := make([][]bool, c)
 		for k := 0; k < c; k++ {
 			bits := make([]bool, 0, (hi-lo)*(shareBits+coinBits))
@@ -233,17 +319,18 @@ func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, t
 			}
 			rvInputs[k] = bits
 		}
-		rvRes, err := runMPC("mpc.reveal", lo, hi, rvCirc, rvInputs, cfg.Seed+3+int64(lo))
+		rvRes, err := runMPC("mpc.reveal", uint32(2+2*b), lo, hi, rvCirc, rvInputs,
+			mathx.DeriveSeed(cfg.Seed, seedStreamReveal, uint64(b)))
 		if err != nil {
-			return nil, fmt.Errorf("Reveal MPC [%d:%d]: %w", lo, hi, err)
+			rvErrs[b] = fmt.Errorf("Reveal MPC [%d:%d]: %w", lo, hi, err)
+			return rvErrs[b]
 		}
-		stats.MPC.Messages += rvRes.Stats.Messages
-		stats.MPC.Bytes += rvRes.Stats.Bytes
-		stats.MPCRounds += rvRes.Rounds
 
 		// Decode per-identity (hidden, maskedFreq) and derive β (Eq. 6).
+		// Batches write disjoint [lo:hi) ranges of hidden/betas.
 		if len(rvRes.Outputs) != per*(hi-lo) {
-			return nil, fmt.Errorf("core: reveal output length %d, want %d", len(rvRes.Outputs), per*(hi-lo))
+			rvErrs[b] = fmt.Errorf("core: reveal output length %d, want %d", len(rvRes.Outputs), per*(hi-lo))
+			return rvErrs[b]
 		}
 		for j := lo; j < hi; j++ {
 			off := (j - lo) * per
@@ -254,21 +341,33 @@ func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, t
 			}
 			freq := circuit.UnpackBits(rvRes.Outputs[off+1 : off+per])
 			sigma := float64(freq) / float64(m)
-			b, err := mathx.Beta(cfg.Policy, mathx.BetaParams{
+			bv, err := mathx.Beta(cfg.Policy, mathx.BetaParams{
 				Sigma: sigma, Epsilon: eps[j], M: m, Delta: cfg.Delta, Gamma: cfg.Gamma,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("β for identity %d: %w", j, err)
+				rvErrs[b] = fmt.Errorf("β for identity %d: %w", j, err)
+				return rvErrs[b]
 			}
-			betas[j] = b
+			betas[j] = bv
 		}
+		rvOuts[b] = rvOut{circ: rvCirc.Stats(), stats: rvRes.Stats, rounds: rvRes.Rounds}
+		return nil
+	})
+	if err := pickBatchErr(rvErrs); err != nil {
+		return nil, err
+	}
+	for _, out := range rvOuts {
+		stats.RevealCircuit = addCircuitStats(stats.RevealCircuit, out.circ)
+		stats.MPC.Messages += out.stats.Messages
+		stats.MPC.Bytes += out.stats.Bytes
+		stats.MPCRounds += out.rounds
+	}
+	if err := mux.Close(); err != nil {
+		return nil, fmt.Errorf("coordinator network close: %w", err)
 	}
 
 	// Phase 2: every provider publishes locally using the public β vector.
-	_, pubSpan := trace.StartChild(ctx, "core.publish")
-	pubRng := rand.New(rand.NewSource(cfg.Seed + 4))
-	published := Publish(truth, betas, pubRng)
-	pubSpan.End()
+	published := publishSharded(ctx, truth, betas, cfg.Seed, workers)
 	return &Result{
 		Published:   published,
 		Betas:       betas,

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// TestPublicationStatistics runs many independently-seeded constructions
+// over a fixed dataset and checks the two halves of Equation 2:
+//
+//  1. Recall is exactly 100%: a provider that truly hosts an identity is
+//     published as hosting it, in every trial. One dropped bit fails.
+//  2. The false-positive rate per identity matches its β_j: across all
+//     trials, the fraction of non-hosting cells published as 1 stays
+//     within a Hoeffding bound of the β the construction reported.
+//
+// The bound is two-sided with overall failure probability δ=1e-9 split
+// over the identities, so a correct implementation flakes with
+// probability < 1e-9 while a biased Bernoulli sampler, a lost coin
+// stream, or a shard that reuses another shard's RNG fails immediately.
+func TestPublicationStatistics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical suite needs many trials")
+	}
+	const (
+		m      = 250
+		trials = 600
+		delta  = 1e-9
+	)
+	freqs := []int{5, 8, 12, 16, 20}
+	eps := []float64{0.3, 0.45, 0.55, 0.65, 0.75}
+	truth := matrixWithFreqs(m, freqs)
+	n := len(freqs)
+
+	// flips[j] counts published 1s over truly-0 cells; expect[j] sums the
+	// per-trial β_j over the same cells, so the two agree in expectation
+	// even if mixing hides identity j in some trials (β_j = 1 there).
+	flips := make([]float64, n)
+	expect := make([]float64, n)
+	zeros := make([]int, n)
+	for j, f := range freqs {
+		zeros[j] = m - f
+	}
+
+	for trial := 0; trial < trials; trial++ {
+		cfg := Config{
+			Policy:  mathx.PolicyBasic,
+			Mode:    ModeTrusted,
+			Seed:    1000 + int64(trial),
+			Workers: 4, // exercise the parallel publication path
+		}
+		res, err := Construct(truth, eps, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				if truth.Get(i, j) {
+					if !res.Published.Get(i, j) {
+						t.Fatalf("trial %d: identity %d lost true positive at provider %d (recall < 100%%)", trial, j, i)
+					}
+				} else if res.Published.Get(i, j) {
+					flips[j]++
+				}
+			}
+			expect[j] += res.Betas[j] * float64(zeros[j])
+		}
+	}
+
+	for j := 0; j < n; j++ {
+		draws := float64(zeros[j] * trials)
+		got := flips[j] / draws
+		want := expect[j] / draws
+		// Hoeffding: P(|mean - E| >= bound) <= 2 exp(-2 N bound²),
+		// solved for the per-identity budget δ/n.
+		bound := math.Sqrt(math.Log(2*float64(n)/delta) / (2 * draws))
+		if math.Abs(got-want) > bound {
+			t.Errorf("identity %d: measured false-positive rate %.5f, expected β=%.5f (|Δ|=%.5f > Hoeffding bound %.5f over %d draws)",
+				j, got, want, math.Abs(got-want), bound, int(draws))
+		}
+	}
+}

@@ -51,7 +51,7 @@ func AblationMixing(opts Options) (*TableResult, error) {
 			d.Matrix.Set(i, j, true)
 		}
 	}
-	base := core.Config{Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted}
+	base := core.Config{Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted, Workers: opts.Workers}
 	isCommon := make([]bool, n)
 	for j := 0; j < n; j++ {
 		if uint64(d.Matrix.ColCount(j)) >= base.Threshold(d.Eps[j], m) {
@@ -129,7 +129,7 @@ func AblationRebuild(opts Options) (*TableResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.Config{Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted}
+	cfg := core.Config{Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted, Workers: opts.Workers}
 	const rebuilds = 6
 	snapshots := make([]*bitmat.Matrix, 0, rebuilds)
 	for r := 0; r < rebuilds; r++ {
@@ -254,7 +254,7 @@ func AblationC(opts Options) (*TableResult, error) {
 	for _, c := range cs {
 		cfg := core.Config{
 			Policy: mathx.PolicyChernoff, Gamma: 0.9,
-			Mode: core.ModeSecure, C: c, Seed: opts.Seed + int64(c),
+			Mode: core.ModeSecure, C: c, Seed: opts.Seed + int64(c), Workers: opts.Workers,
 		}
 		start := time.Now()
 		res, err := core.Construct(d.Matrix, d.Eps, cfg)

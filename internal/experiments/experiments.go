@@ -34,6 +34,10 @@ type Options struct {
 	// TCP runs the protocol-execution experiments (Fig 6a/6c) over real
 	// TCP loopback sockets instead of the in-memory transport.
 	TCP bool
+	// Workers bounds the construction worker pool of every experiment's
+	// core.Construct runs (0 = runtime.NumCPU()). Results are identical
+	// at any worker count; only wall time changes.
+	Workers int
 	// Metrics, when non-nil, collects instrumentation across experiments:
 	// index query fan-out (SearchCost), transport traffic and MPC phase
 	// timers (Fig 6). eppi-bench embeds a snapshot of it in its output.

@@ -118,6 +118,7 @@ func Fig4a(opts Options) (*Figure, error) {
 		for _, ng := range nonGroupers {
 			cfg := ng.cfg
 			cfg.Seed = opts.Seed + int64(freq)*31
+			cfg.Workers = opts.Workers
 			y, err := nonGroupingSuccess(d, d.Eps, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("%s at freq %d: %w", ng.label, freq, err)
@@ -183,6 +184,7 @@ func Fig4b(opts Options) (*Figure, error) {
 		for _, ng := range nonGroupers {
 			cfg := ng.cfg
 			cfg.Seed = opts.Seed + int64(pi)*41
+			cfg.Workers = opts.Workers
 			y, err := nonGroupingSuccess(d, d.Eps, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("%s at ε=%v: %w", ng.label, epsVal, err)

@@ -76,7 +76,9 @@ func Fig5a(opts Options) (*Figure, error) {
 	for _, pol := range fig5Policies {
 		s := Series{Label: pol.label}
 		for _, freq := range freqPoints {
-			y, err := policySuccess(pol.cfg, m, freq, trials, epsVal, opts.Seed+int64(freq))
+			cfg := pol.cfg
+			cfg.Workers = opts.Workers
+			y, err := policySuccess(cfg, m, freq, trials, epsVal, opts.Seed+int64(freq))
 			if err != nil {
 				return nil, fmt.Errorf("%s at freq %d: %w", pol.label, freq, err)
 			}
@@ -114,7 +116,9 @@ func Fig5b(opts Options) (*Figure, error) {
 			if freq < 1 {
 				freq = 1
 			}
-			y, err := policySuccess(pol.cfg, m, freq, trials, epsVal, opts.Seed+int64(m))
+			cfg := pol.cfg
+			cfg.Workers = opts.Workers
+			y, err := policySuccess(cfg, m, freq, trials, epsVal, opts.Seed+int64(m))
 			if err != nil {
 				return nil, fmt.Errorf("%s at m=%d: %w", pol.label, m, err)
 			}

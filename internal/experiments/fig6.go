@@ -71,6 +71,7 @@ func securePipelineTime(opts Options, m, identities int, seed int64) (time.Durat
 		C:          fig6C,
 		CoinBits:   fig6CoinBits,
 		Seed:       seed,
+		Workers:    opts.Workers,
 		NewNetwork: netFactory(opts),
 	}
 	start := time.Now()

@@ -69,7 +69,7 @@ func Table2(opts Options) (*TableResult, error) {
 
 	// Ground truth commons per the ε-PPI threshold definition (needed to
 	// score the common-identity attack for every system consistently).
-	epCfg := core.Config{Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted, XiOverride: xi}
+	epCfg := core.Config{Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted, XiOverride: xi, Workers: opts.Workers}
 	isCommon := make([]bool, n)
 	commons := 0
 	for j := 0; j < n; j++ {
@@ -311,7 +311,7 @@ func SearchCost(opts Options) (*TableResult, error) {
 
 	for _, epsVal := range []float64{0.2, 0.5, 0.8} {
 		res, err := core.Construct(d.Matrix, epsSlice(n, epsVal), core.Config{
-			Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted, Seed: opts.Seed + int64(epsVal*100),
+			Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted, Seed: opts.Seed + int64(epsVal*100), Workers: opts.Workers,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,58 @@
+package gmw
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mathx"
+	"repro/internal/parallel"
+)
+
+// tripleShard is the number of AND-gate ordinals dealt per derived RNG
+// stream in GenTriplesSharded. The value is a block-size / scheduling
+// trade-off only; changing it changes the dealt triples (they are a
+// function of (seed, shard)), so it is fixed as part of the deterministic
+// output contract.
+const tripleShard = 4096
+
+// tripleStream labels the DeriveSeed stream used by the sharded dealer.
+const tripleStream uint64 = 0x74726970 // "trip"
+
+// GenTriplesSharded deals the same kind of Beaver triples as GenTriples,
+// but shards the ordinal range into fixed 4096-triple blocks, each dealt
+// from an independent child seed (mathx.DeriveSeed(seed, stream, shard))
+// across up to `workers` goroutines. Because every block's randomness
+// depends only on (seed, shard), the output is bit-identical at any worker
+// count — the property the parallel construction pipeline needs from its
+// preprocessing.
+func GenTriplesSharded(seed int64, parties, count, workers int) ([]PartyTriples, error) {
+	if parties < 2 || count < 0 {
+		return nil, fmt.Errorf("gmw: bad dealer request parties=%d count=%d", parties, count)
+	}
+	out := make([]PartyTriples, parties)
+	for p := range out {
+		out[p] = PartyTriples{
+			A: make([]byte, count),
+			B: make([]byte, count),
+			C: make([]byte, count),
+		}
+	}
+	// Each block writes disjoint ordinals of the shared slices, so the
+	// blocks are race-free without locks.
+	err := parallel.Blocks(workers, count, tripleShard, func(shard, lo, hi int) error {
+		rng := rand.New(rand.NewSource(mathx.DeriveSeed(seed, tripleStream, uint64(shard))))
+		for t := lo; t < hi; t++ {
+			a := byte(rng.Intn(2))
+			b := byte(rng.Intn(2))
+			c := a & b
+			shareInto(rng, a, out, t, func(pt *PartyTriples) []byte { return pt.A })
+			shareInto(rng, b, out, t, func(pt *PartyTriples) []byte { return pt.B })
+			shareInto(rng, c, out, t, func(pt *PartyTriples) []byte { return pt.C })
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package gmw
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/transport"
+)
+
+// The sharded dealer must produce bit-identical triples at every worker
+// count, and the triples must satisfy the Beaver invariant.
+func TestGenTriplesShardedDeterministicAcrossWorkers(t *testing.T) {
+	const parties, count = 3, 3*tripleShard + 117 // spans several shards plus a ragged tail
+	base, err := GenTriplesSharded(99, parties, count, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < count; tt++ {
+		var a, b, c byte
+		for p := 0; p < parties; p++ {
+			a ^= base[p].A[tt]
+			b ^= base[p].B[tt]
+			c ^= base[p].C[tt]
+		}
+		if a&b != c {
+			t.Fatalf("triple %d: a=%d b=%d c=%d", tt, a, b, c)
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := GenTriplesSharded(99, parties, count, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < parties; p++ {
+			for tt := 0; tt < count; tt++ {
+				if got[p].A[tt] != base[p].A[tt] || got[p].B[tt] != base[p].B[tt] || got[p].C[tt] != base[p].C[tt] {
+					t.Fatalf("workers=%d: party %d triple %d differs from workers=1", workers, p, tt)
+				}
+			}
+		}
+	}
+}
+
+func TestGenTriplesShardedValidation(t *testing.T) {
+	if _, err := GenTriplesSharded(1, 1, 5, 2); err == nil {
+		t.Error("parties=1 accepted")
+	}
+	if _, err := GenTriplesSharded(1, 3, -1, 2); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+// Several independent GMW evaluations must be able to share one physical
+// network concurrently via SessionMux without interleaving messages: this
+// is the property that lets parallel ε-PPI construction run identity
+// batches at the same time. Each batch computes a different sum threshold
+// so a cross-session message would corrupt outputs, not just stall.
+func TestConcurrentGMWBatchesOverSessions(t *testing.T) {
+	const parties = 3
+	const batches = 4
+	inner, err := transport.NewInMem(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := transport.NewSessionMux(inner)
+	defer mux.Close()
+
+	build := func(threshold uint64) *circuit.Circuit {
+		b := circuit.NewBuilder()
+		const width = 5
+		x := b.InputVec(0, width)
+		y := b.InputVec(1, width)
+		z := b.InputVec(2, width)
+		sum, err := b.Add(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err = b.Add(sum, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ge, err := b.GreaterEq(sum, circuit.ConstVec(threshold, len(sum)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Output(ge); err != nil {
+			t.Fatal(err)
+		}
+		circ, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return circ
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, batches)
+	outs := make([]bool, batches)
+	for i := 0; i < batches; i++ {
+		circ := build(uint64(10 + i*3)) // thresholds 10,13,16,19 over sum 5+6+7=18
+		wg.Add(1)
+		go func(i int, circ *circuit.Circuit) {
+			defer wg.Done()
+			sess, err := mux.Session(uint32(i + 1))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer sess.Close()
+			inputs := [][]bool{circuit.PackBits(5, 5), circuit.PackBits(6, 5), circuit.PackBits(7, 5)}
+			res, err := Run(sess, circ, inputs, int64(100+i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i] = res.Outputs[0]
+			if res.Stats.Messages == 0 {
+				errs[i] = fmt.Errorf("batch %d reported zero per-session traffic", i)
+			}
+		}(i, circ)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	for i, got := range outs {
+		want := 18 >= 10+i*3
+		if got != want {
+			t.Fatalf("batch %d: 18>=%d computed as %v", i, 10+i*3, got)
+		}
+	}
+}

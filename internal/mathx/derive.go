@@ -1,0 +1,34 @@
+package mathx
+
+// DeriveSeed deterministically derives an independent child seed from a
+// base seed, a stream label, and an index within that stream.
+//
+// The construction pipeline shards work (columns, row blocks, MPC batches)
+// across a worker pool; every shard draws its randomness from a fresh
+// rand.Source seeded with DeriveSeed(seed, stream, index) so that the
+// output is a function of (seed, stream, index) only — never of which
+// worker executed the shard or in what order. That is what makes parallel
+// construction bit-identical to the sequential run.
+//
+// Internally this is three rounds of the splitmix64 finalizer, which is a
+// bijection on 64-bit words; distinct (seed, stream, index) triples map to
+// well-separated child seeds even when the inputs are small consecutive
+// integers.
+func DeriveSeed(seed int64, stream, index uint64) int64 {
+	const golden = 0x9e3779b97f4a7c15
+	h := splitmix64(uint64(seed) + golden)
+	h = splitmix64(h ^ (stream + golden))
+	h = splitmix64(h ^ (index + golden))
+	return int64(h)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator (Steele et al.),
+// a strong 64-bit mixing bijection.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

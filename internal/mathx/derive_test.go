@@ -1,0 +1,50 @@
+package mathx
+
+import "testing"
+
+// DeriveSeed must be a pure function of its inputs and must separate
+// nearby (stream, index) pairs: the construction pipeline relies on each
+// shard getting an independent-looking child seed.
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(42, 1, 7)
+	b := DeriveSeed(42, 1, 7)
+	if a != b {
+		t.Fatalf("DeriveSeed not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestDeriveSeedSeparatesInputs(t *testing.T) {
+	seen := make(map[int64][3]uint64)
+	for seed := int64(0); seed < 4; seed++ {
+		for stream := uint64(0); stream < 8; stream++ {
+			for index := uint64(0); index < 64; index++ {
+				s := DeriveSeed(seed, stream, index)
+				key := [3]uint64{uint64(seed), stream, index}
+				if prev, ok := seen[s]; ok {
+					t.Fatalf("collision: %v and %v both derive %d", prev, key, s)
+				}
+				seen[s] = key
+			}
+		}
+	}
+}
+
+// Consecutive indices must not produce correlated low bits (a plain
+// seed+index scheme would): check that flipping the index flips roughly
+// half the output bits on average.
+func TestDeriveSeedAvalanche(t *testing.T) {
+	totalBits := 0
+	const trials = 256
+	for i := uint64(0); i < trials; i++ {
+		a := uint64(DeriveSeed(1, 2, i))
+		b := uint64(DeriveSeed(1, 2, i+1))
+		x := a ^ b
+		for ; x != 0; x &= x - 1 {
+			totalBits++
+		}
+	}
+	mean := float64(totalBits) / trials
+	if mean < 24 || mean > 40 {
+		t.Fatalf("avalanche mean %.1f bits, want ~32", mean)
+	}
+}

@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		hits := make([]atomic.Int32, 100)
+		if err := For(workers, len(hits), func(task int) error {
+			hits[task].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndSingle(t *testing.T) {
+	if err := For(8, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatalf("tasks=0: %v", err)
+	}
+	ran := 0
+	if err := For(8, 1, func(int) error { ran++; return nil }); err != nil || ran != 1 {
+		t.Fatalf("tasks=1: ran=%d err=%v", ran, err)
+	}
+}
+
+// The reported error must be the lowest-numbered failing task regardless
+// of scheduling, so callers see a deterministic error across runs.
+func TestForReturnsLowestFailingTask(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		err := For(8, 50, func(task int) error {
+			if task >= 10 {
+				return fmt.Errorf("task %d failed", task)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 10 failed" {
+			t.Fatalf("trial %d: got %v, want task 10 failed", trial, err)
+		}
+	}
+}
+
+func TestForStopsClaimingAfterError(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	err := For(2, 10_000, func(task int) error {
+		ran.Add(1)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n > 16 {
+		t.Fatalf("ran %d tasks after first error, want early stop", n)
+	}
+}
+
+func TestBlocksPartitionExactly(t *testing.T) {
+	for _, tc := range []struct{ n, block int }{{100, 7}, {64, 64}, {1, 10}, {65, 64}} {
+		covered := make([]atomic.Int32, tc.n)
+		err := Blocks(4, tc.n, tc.block, func(b, lo, hi int) error {
+			if lo != b*tc.block {
+				return fmt.Errorf("block %d: lo=%d", b, lo)
+			}
+			for i := lo; i < hi; i++ {
+				covered[i].Add(1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d block=%d: %v", tc.n, tc.block, err)
+		}
+		for i := range covered {
+			if covered[i].Load() != 1 {
+				t.Fatalf("n=%d block=%d: index %d covered %d times", tc.n, tc.block, i, covered[i].Load())
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -21,6 +22,11 @@ type FaultPlan struct {
 	// FailSendFrom makes every Send from the listed party ids fail
 	// immediately (a crashed node).
 	FailSendFrom map[int]bool
+	// RecvTimeout, when positive, bounds every Recv: a receive that sees
+	// no message for this long fails instead of blocking forever. Dropped
+	// messages would otherwise stall the receiving protocol indefinitely;
+	// with a timeout the fault surfaces as a prompt error.
+	RecvTimeout time.Duration
 	// Seed drives the fault randomness.
 	Seed int64
 }
@@ -48,6 +54,10 @@ func NewFaulty(inner Network, plan FaultPlan) *FaultyNetwork {
 	}
 	for i := range f.nodes {
 		f.nodes[i] = &faultyNode{net: f, inner: inner.Node(i)}
+		if plan.RecvTimeout > 0 {
+			f.nodes[i].ch = make(chan recvResult)
+			f.nodes[i].done = make(chan struct{})
+		}
 	}
 	return f
 }
@@ -62,8 +72,14 @@ func (f *FaultyNetwork) Size() int { return f.inner.Size() }
 // dropped do not reach the wire and are not counted).
 func (f *FaultyNetwork) Stats() Stats { return f.inner.Stats() }
 
-// Close closes the inner network.
-func (f *FaultyNetwork) Close() error { return f.inner.Close() }
+// Close closes the inner network and stops any timeout reader goroutines.
+func (f *FaultyNetwork) Close() error {
+	err := f.inner.Close()
+	for _, n := range f.nodes {
+		n.stop()
+	}
+	return err
+}
 
 // Instrument forwards to the inner network when it supports metrics.
 func (f *FaultyNetwork) Instrument(reg *metrics.Registry) { Instrument(f.inner, reg) }
@@ -107,6 +123,19 @@ func (f *FaultyNetwork) corruptPayload(data []uint64) []uint64 {
 type faultyNode struct {
 	net   *FaultyNetwork
 	inner Node
+
+	// Timeout-receive plumbing, used only when plan.RecvTimeout > 0: a
+	// single reader goroutine pulls from the inner endpoint and hands
+	// messages over ch, so Recv can select against a timer.
+	readerOnce sync.Once
+	stopOnce   sync.Once
+	ch         chan recvResult
+	done       chan struct{}
+}
+
+type recvResult struct {
+	m   Message
+	err error
 }
 
 var _ Node = (*faultyNode)(nil)
@@ -128,5 +157,47 @@ func (n *faultyNode) Send(to int, m Message) error {
 	return n.inner.Send(to, m)
 }
 
-func (n *faultyNode) Recv() (Message, error) { return n.inner.Recv() }
-func (n *faultyNode) Close() error           { return n.inner.Close() }
+func (n *faultyNode) Recv() (Message, error) {
+	d := n.net.plan.RecvTimeout
+	if d <= 0 {
+		return n.inner.Recv()
+	}
+	n.readerOnce.Do(func() {
+		go func() {
+			for {
+				m, err := n.inner.Recv()
+				select {
+				case n.ch <- recvResult{m, err}:
+				case <-n.done:
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	})
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case r := <-n.ch:
+		return r.m, r.err
+	case <-timer.C:
+		return Message{}, fmt.Errorf("transport: injected recv timeout after %v at party %d", d, n.inner.ID())
+	}
+}
+
+// stop terminates the timeout reader goroutine, if one was started.
+func (n *faultyNode) stop() {
+	n.stopOnce.Do(func() {
+		if n.done != nil {
+			close(n.done)
+		}
+	})
+}
+
+func (n *faultyNode) Close() error {
+	err := n.inner.Close()
+	n.stop()
+	return err
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"testing"
+	"time"
 )
 
 func TestFaultyPassThrough(t *testing.T) {
@@ -84,5 +85,49 @@ func TestFaultyCrashedSender(t *testing.T) {
 	}
 	if err := net.Node(0).Send(1, Message{}); err != nil {
 		t.Fatalf("healthy sender failed: %v", err)
+	}
+}
+
+// RecvTimeout turns a starved receive into a prompt error instead of an
+// indefinite hang, so protocols running over a lossy network fail fast.
+func TestFaultyRecvTimeout(t *testing.T) {
+	inner, err := NewInMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewFaulty(inner, FaultPlan{DropRate: 1, RecvTimeout: 30 * time.Millisecond, Seed: 4})
+	defer net.Close()
+	if err := net.Node(0).Send(1, Message{Kind: KindShare}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = net.Node(1).Recv()
+	if err == nil {
+		t.Fatal("Recv on dropped traffic should time out")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Recv took %v, want prompt timeout", elapsed)
+	}
+}
+
+// With RecvTimeout set but traffic flowing, Recv must still deliver
+// messages in order.
+func TestFaultyRecvTimeoutDeliversWhenHealthy(t *testing.T) {
+	inner, err := NewInMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewFaulty(inner, FaultPlan{RecvTimeout: time.Second})
+	defer net.Close()
+	for i := 0; i < 5; i++ {
+		if err := net.Node(0).Send(1, Message{Kind: KindShare, Seq: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		m, err := net.Node(1).Recv()
+		if err != nil || m.Seq != uint32(i) {
+			t.Fatalf("recv #%d: %+v err=%v", i, m, err)
+		}
 	}
 }

@@ -1,0 +1,283 @@
+package transport
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func mustSession(t *testing.T, mux *SessionMux, id uint32) Network {
+	t.Helper()
+	s, err := mux.Session(id)
+	if err != nil {
+		t.Fatalf("Session(%d): %v", id, err)
+	}
+	return s
+}
+
+// Two sessions over one physical network must never see each other's
+// messages, and each must preserve per-sender FIFO order.
+func TestSessionIsolationInMem(t *testing.T) {
+	inner, err := NewInMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := NewSessionMux(inner)
+	defer mux.Close()
+	a := mustSession(t, mux, 1)
+	b := mustSession(t, mux, 2)
+
+	const per = 50
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for _, tc := range []struct {
+		net  Network
+		kind Kind
+	}{{a, KindShare}, {b, KindGMWAnd}} {
+		go func(net Network, kind Kind) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := net.Node(0).Send(1, Message{Kind: kind, Seq: uint32(i), Data: []uint64{uint64(i)}}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(tc.net, tc.kind)
+	}
+	wg.Wait()
+
+	check := func(net Network, kind Kind) {
+		for i := 0; i < per; i++ {
+			m, err := net.Node(1).Recv()
+			if err != nil {
+				t.Fatalf("recv %v #%d: %v", kind, i, err)
+			}
+			if m.Kind != kind {
+				t.Fatalf("session leaked: got kind %v, want %v", m.Kind, kind)
+			}
+			if m.Seq != uint32(i) {
+				t.Fatalf("kind %v: out of order: got seq %d, want %d", kind, m.Seq, i)
+			}
+		}
+	}
+	check(a, KindShare)
+	check(b, KindGMWAnd)
+}
+
+// Per-session stats must count only that session's traffic, while the mux
+// (physical) stats see everything.
+func TestSessionStatsIsolated(t *testing.T) {
+	inner, err := NewInMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := NewSessionMux(inner)
+	defer mux.Close()
+	a := mustSession(t, mux, 7)
+	b := mustSession(t, mux, 8)
+
+	for i := 0; i < 3; i++ {
+		if err := a.Node(0).Send(1, Message{Kind: KindShare, Data: []uint64{1, 2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Node(1).Send(0, Message{Kind: KindControl}); err != nil {
+		t.Fatal(err)
+	}
+
+	if st := a.Stats(); st.Messages != 3 {
+		t.Fatalf("session a counted %d messages, want 3", st.Messages)
+	}
+	if st := b.Stats(); st.Messages != 1 {
+		t.Fatalf("session b counted %d messages, want 1", st.Messages)
+	}
+	if st := mux.Stats(); st.Messages != 4 {
+		t.Fatalf("mux counted %d messages, want 4", st.Messages)
+	}
+	wantBytes := uint64(3 * (28 + 16))
+	if st := a.Stats(); st.Bytes != wantBytes {
+		t.Fatalf("session a counted %d bytes, want %d", st.Bytes, wantBytes)
+	}
+}
+
+// A message may arrive before the receiving side has opened its session;
+// it must be parked and delivered once the session is opened.
+func TestSessionParksEarlyMessages(t *testing.T) {
+	inner, err := NewInMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := NewSessionMux(inner)
+	defer mux.Close()
+	sender := mustSession(t, mux, 3)
+	if err := sender.Node(0).Send(1, Message{Kind: KindShare, Data: []uint64{42}}); err != nil {
+		t.Fatal(err)
+	}
+	// Give the pump a moment to route it into the parked mailbox before the
+	// receiver looks; Recv would block either way, this just makes the test
+	// exercise the parked path deliberately.
+	time.Sleep(10 * time.Millisecond)
+	m, err := sender.Node(1).Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Session != 3 || m.Data[0] != 42 {
+		t.Fatalf("got session %d data %v", m.Session, m.Data)
+	}
+}
+
+// Closing one session unblocks its receivers with ErrClosed and retires
+// its id, without disturbing sibling sessions.
+func TestSessionCloseIsLocalAndRetiresID(t *testing.T) {
+	inner, err := NewInMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := NewSessionMux(inner)
+	defer mux.Close()
+	a := mustSession(t, mux, 1)
+	b := mustSession(t, mux, 2)
+
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := a.Node(1).Recv()
+		recvErr <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-recvErr:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("recv after close: %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not unblock after session close")
+	}
+
+	// Sibling session still works.
+	if err := b.Node(0).Send(1, Message{Kind: KindControl}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Node(1).Recv(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The id is retired forever: reuse would risk cross-talk with late
+	// in-flight messages.
+	if _, err := mux.Session(1); err == nil {
+		t.Fatal("Session(1) after close should fail")
+	}
+
+	// Late messages for the retired session are dropped, not delivered to
+	// anyone and not a panic.
+	if err := b.Node(0).Send(1, Message{Kind: KindShare, Session: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Closing the mux closes the physical network, every session, and all
+// pump goroutines.
+func TestSessionMuxCloseReleasesEverything(t *testing.T) {
+	before := runtime.NumGoroutine()
+	inner, err := NewInMem(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := NewSessionMux(inner)
+	s := mustSession(t, mux, 9)
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := s.Node(2).Recv()
+		recvErr <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := mux.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-recvErr; !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv after mux close: %v, want ErrClosed", err)
+	}
+	if _, err := mux.Session(10); err == nil {
+		t.Fatal("Session on closed mux should fail")
+	}
+	if err := mux.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after mux close", before, runtime.NumGoroutine())
+}
+
+// The session id must survive gob framing on the TCP transport so routing
+// works across real sockets.
+func TestSessionOverTCP(t *testing.T) {
+	inner, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := NewSessionMux(inner)
+	defer mux.Close()
+	a := mustSession(t, mux, 11)
+	b := mustSession(t, mux, 12)
+	if err := a.Node(0).Send(1, Message{Kind: KindShare, Data: []uint64{7}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Node(0).Send(1, Message{Kind: KindShare, Data: []uint64{8}}); err != nil {
+		t.Fatal(err)
+	}
+	ma, err := a.Node(1).Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := b.Node(1).Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Session != 11 || ma.Data[0] != 7 {
+		t.Fatalf("session a got session=%d data=%v", ma.Session, ma.Data)
+	}
+	if mb.Session != 12 || mb.Data[0] != 8 {
+		t.Fatalf("session b got session=%d data=%v", mb.Session, mb.Data)
+	}
+}
+
+// Instrumenting via a session must count physical traffic exactly once, no
+// matter how many sessions share the wire.
+func TestSessionInstrumentCountsOnce(t *testing.T) {
+	inner, err := NewInMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := NewSessionMux(inner)
+	defer mux.Close()
+	a := mustSession(t, mux, 1)
+	b := mustSession(t, mux, 2)
+	reg := metrics.NewRegistry()
+	if !Instrument(a, reg) {
+		t.Fatal("session should support Instrument")
+	}
+	if RegistryOf(b) != reg {
+		t.Fatal("registry should be shared through the physical network")
+	}
+	if err := a.Node(0).Send(1, Message{Kind: KindShare}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Node(0).Send(1, Message{Kind: KindShare}); err != nil {
+		t.Fatal(err)
+	}
+	total := reg.Counter("eppi_transport_messages_total", "").Value()
+	if total != 2 {
+		t.Fatalf("registry counted %v messages, want 2", total)
+	}
+}

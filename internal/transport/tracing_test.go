@@ -98,13 +98,14 @@ func TestSpanTrafficAttribution(t *testing.T) {
 
 func TestWireSizeCoversTraceHeader(t *testing.T) {
 	m := Message{Kind: KindShare, Data: make([]uint64, 5)}
-	// 24-byte header (routing + 8-byte trace id) + 8 bytes per element.
-	if got, want := m.wireSize(), 24+8*5; got != want {
+	// 28-byte header (routing + 4-byte session id + 8-byte trace id) plus
+	// 8 bytes per element.
+	if got, want := m.wireSize(), 28+8*5; got != want {
 		t.Fatalf("wireSize = %d, want %d", got, want)
 	}
 	empty := Message{Kind: KindControl}
-	if got := empty.wireSize(); got != 24 {
-		t.Fatalf("empty message wireSize = %d, want 24", got)
+	if got := empty.wireSize(); got != 28 {
+		t.Fatalf("empty message wireSize = %d, want 28", got)
 	}
 }
 

@@ -68,24 +68,29 @@ func (k Kind) String() string {
 
 // Message is a routed protocol message. Data carries field elements or
 // packed bits depending on Kind; Seq disambiguates rounds or batches.
-// Trace carries the id of the trace active on the sending network (0 when
-// tracing is off); both transports round-trip it, so per-trace traffic
-// attribution survives gob framing on the TCP path.
+// Session identifies the logical sub-network the message belongs to when a
+// physical network is multiplexed by a SessionMux (0 outside a mux), so
+// concurrent protocol instances never interleave messages. Trace carries
+// the id of the trace active on the sending network (0 when tracing is
+// off); both transports round-trip it, so per-trace traffic attribution
+// survives gob framing on the TCP path.
 type Message struct {
-	From  int
-	To    int
-	Kind  Kind
-	Seq   uint32
-	Trace uint64
-	Data  []uint64
+	From    int
+	To      int
+	Kind    Kind
+	Seq     uint32
+	Session uint32
+	Trace   uint64
+	Data    []uint64
 }
 
 // wireSize approximates the serialized size of the message in bytes; used
-// for traffic accounting in both transports. The 24-byte header is the
-// routing fields (From, To, Kind, Seq ≈ 16 bytes) plus the 8-byte trace
-// id, so Collector traffic numbers stay honest with tracing on.
+// for traffic accounting in both transports. The 28-byte header is the
+// routing fields (From, To, Kind, Seq ≈ 16 bytes), the 4-byte session id,
+// and the 8-byte trace id, so Collector traffic numbers stay honest with
+// tracing and session multiplexing on.
 func (m Message) wireSize() int {
-	return 24 + 8*len(m.Data)
+	return 28 + 8*len(m.Data)
 }
 
 // ErrClosed is returned by Send/Recv on a closed node.
