@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-baseline race fuzz smoke experiments examples clean
+.PHONY: all build test vet bench bench-baseline gateway-bench race fuzz smoke experiments examples clean
 
 all: build vet test
 
@@ -33,6 +33,12 @@ bench:
 # suite, the reference point for judging parallel-pipeline regressions.
 bench-baseline:
 	$(GO) run ./cmd/eppi-bench -experiment all -quick -metrics=false -baseline BENCH_baseline.json
+
+# Append a gateway latency snapshot (cold + warm cache percentiles over a
+# self-contained loopback shard fleet) to BENCH_gateway.json, tracked next
+# to BENCH_baseline.json.
+gateway-bench:
+	$(GO) run ./cmd/eppi-gateway -selfbench 2000 -baseline BENCH_gateway.json
 
 # Short fuzz session over every fuzz target.
 fuzz:

@@ -8,6 +8,14 @@
 //	eppi-construct -providers 100 -owners 50 [-policy chernoff] [-gamma 0.9]
 //	eppi-construct -providers 12 -owners 8 -secure -c 3 [-tcp]
 //	eppi-construct -providers 12 -owners 8 -secure -trace run.json
+//	eppi-construct -providers 100 -owners 50 -out index.eppi
+//	eppi-construct -providers 100 -owners 50 -shards 4 -out shards/
+//
+// -out exports the constructed index as a checksummed snapshot that
+// eppi-serve -index loads. With -shards N the index is column-partitioned
+// N ways instead and -out names a directory receiving one snapshot per
+// shard plus a checksummed manifest; eppi-serve -index dir -shard k/N
+// serves one shard of it, fronted by eppi-gateway.
 //
 // -trace records a span tree of the whole construction — β-phase,
 // SecSumShare, per-batch MPC with GMW/OT phases, mixing, publication —
@@ -26,6 +34,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/logx"
 	"repro/internal/mathx"
+	"repro/internal/shard"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/workload"
@@ -51,6 +60,8 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "construction worker pool size (0 = NumCPU); output is identical at any value")
 	zipf := fs.Float64("zipf", 1.1, "Zipf exponent of identity frequencies")
+	outPath := fs.String("out", "", "export the index: a snapshot file, or a shard-set directory with -shards")
+	shards := fs.Int("shards", 0, "with -out: column-partition the index into this many shards + manifest")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the construction to this file")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
@@ -124,6 +135,13 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *outPath != "" {
+		if err := export(*outPath, *shards, srv, logger); err != nil {
+			return err
+		}
+	} else if *shards > 0 {
+		return fmt.Errorf("-shards %d needs -out naming the shard-set directory", *shards)
+	}
 
 	fmt.Fprintf(out, "constructed ε-PPI: m=%d providers, n=%d owners, policy=%s, mode=%s\n",
 		*providers, *owners, policy, cfg.Mode)
@@ -153,6 +171,38 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  %-34s freq=%-5d ε=%.2f β=%.4f hidden=%v\n",
 			d.Names[j], d.Frequency(j), d.Eps[j], res.Betas[j], res.Hidden[j])
 	}
+	return nil
+}
+
+// export writes the constructed index to disk: a single checksummed
+// snapshot file, or (shards > 0) a directory of per-shard snapshots plus
+// a checksummed manifest that eppi-serve -shard and eppi-gateway consume.
+func export(path string, shards int, srv *index.Server, logger *slog.Logger) error {
+	if shards > 0 {
+		if err := os.MkdirAll(path, 0o755); err != nil {
+			return fmt.Errorf("export: %w", err)
+		}
+		man, err := shard.WriteSet(path, srv.PublishedMatrix(), srv.Names(), shards)
+		if err != nil {
+			return fmt.Errorf("export shard set: %w", err)
+		}
+		logger.Info("shard set written", slog.String("dir", path),
+			slog.Int("shards", man.Shards), slog.Int("owners", man.Owners))
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	if _, err := srv.WriteTo(f); err != nil {
+		f.Close()
+		return fmt.Errorf("export: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	logger.Info("index written", slog.String("path", path),
+		slog.Int("owners", srv.Owners()))
 	return nil
 }
 

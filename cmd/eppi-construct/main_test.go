@@ -7,6 +7,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/index"
+	"repro/internal/shard"
 )
 
 func TestConstructTrusted(t *testing.T) {
@@ -85,5 +88,50 @@ func TestConstructBadLogConfig(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-log-level", "shout"}, &out); err == nil {
 		t.Error("unknown log level accepted")
+	}
+}
+
+func TestConstructExportIndex(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.eppi")
+	var out bytes.Buffer
+	if err := run([]string{"-providers", "10", "-owners", "6", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	srv, err := index.Read(f)
+	if err != nil {
+		t.Fatalf("exported index unreadable: %v", err)
+	}
+	if srv.Providers() != 10 || srv.Owners() != 6 {
+		t.Fatalf("exported dims %dx%d", srv.Providers(), srv.Owners())
+	}
+}
+
+func TestConstructExportShardSet(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "shards")
+	var out bytes.Buffer
+	if err := run([]string{"-providers", "10", "-owners", "6", "-shards", "2", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	man, err := shard.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Shards != 2 || man.Owners != 6 {
+		t.Fatalf("manifest = %+v", man)
+	}
+	if err := man.Verify(dir); err != nil {
+		t.Fatalf("fresh shard set fails verification: %v", err)
+	}
+	if _, err := man.LoadShard(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	// -shards without -out is rejected.
+	if err := run([]string{"-providers", "10", "-owners", "6", "-shards", "2"}, &out); err == nil {
+		t.Error("-shards without -out accepted")
 	}
 }

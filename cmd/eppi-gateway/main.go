@@ -1,0 +1,352 @@
+// Command eppi-gateway is the routing tier of the distributed ε-PPI
+// locator service: a stateless front door over a fleet of column-shard
+// eppi-serve nodes. Lookups are routed to the shard owning the identity
+// (stable hash, no coordination), searches fan out to every shard, and
+// the gateway layers response caching, hedged requests, health-probed
+// replica failover and load shedding on top (internal/gateway).
+//
+// Usage:
+//
+//	eppi-gateway -addr 127.0.0.1:8090 \
+//	  -shards "http://127.0.0.1:8081,http://127.0.0.1:8083;http://127.0.0.1:8082"
+//
+// -shards lists replica base URLs per shard: commas separate replicas of
+// one shard, semicolons separate shards. The example above routes over
+// two shards — shard 0 with two replicas, shard 1 with one.
+//
+// Endpoints mirror a shard node: GET /v1/query?owner=…, GET
+// /v1/search?q=…, GET /v1/stats (aggregated over shards), GET
+// /v1/healthz (per-replica probe verdicts), GET /v1/metrics, GET
+// /v1/traces.
+//
+// Benchmark mode:
+//
+//	eppi-gateway -selfbench 2000 -baseline BENCH_gateway.json
+//
+// boots a self-contained demo fleet (deterministic demo index, column
+// shards served on loopback), drives N lookups through the full gateway
+// stack cold and warm, and appends a latency snapshot to the baseline
+// file so gateway performance is tracked next to BENCH_baseline.json.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/httpapi"
+	"repro/internal/logx"
+	"repro/internal/mathx"
+	"repro/internal/metrics"
+	"repro/internal/shard"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+const drainTimeout = 5 * time.Second
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "eppi-gateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out *os.File) error {
+	fs := flag.NewFlagSet("eppi-gateway", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8090", "listen address")
+	shardsSpec := fs.String("shards", "", "replica base URLs: commas between replicas, semicolons between shards")
+	cacheSize := fs.Int("cache", gateway.DefaultCacheSize, "response cache entries (negative disables)")
+	maxInFlight := fs.Int("max-inflight", gateway.DefaultMaxInFlight, "admitted-request bound before shedding")
+	queueWait := fs.Duration("queue-wait", gateway.DefaultQueueWait, "max admission queue wait before a 503")
+	hedgeAfter := fs.Duration("hedge", 0, "fixed hedge trigger (0: adaptive p95, negative: off)")
+	probePeriod := fs.Duration("probe", gateway.DefaultProbePeriod, "health probe interval (negative: off)")
+	withMetrics := fs.Bool("metrics", true, "expose GET /v1/metrics")
+	traceCap := fs.Int("trace", trace.DefaultCapacity, "recent-trace ring capacity for GET /v1/traces (0 disables)")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
+	selfbench := fs.Int("selfbench", 0, "run N lookups against a self-contained demo fleet and exit")
+	baseline := fs.String("baseline", "BENCH_gateway.json", "selfbench: append the latency snapshot to this file")
+	benchShards := fs.Int("bench-shards", 3, "selfbench: demo fleet shard count")
+	providers := fs.Int("providers", 50, "selfbench: demo index providers")
+	owners := fs.Int("owners", 200, "selfbench: demo index owners")
+	seed := fs.Int64("seed", 1, "selfbench: demo index seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := logx.New(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	cfg := gateway.Config{
+		CacheSize:   *cacheSize,
+		MaxInFlight: *maxInFlight,
+		QueueWait:   *queueWait,
+		HedgeAfter:  *hedgeAfter,
+		ProbePeriod: *probePeriod,
+		Logger:      logger,
+	}
+	if *withMetrics {
+		cfg.Registry = metrics.NewRegistry()
+		metrics.RegisterRuntime(cfg.Registry)
+	}
+	if *traceCap > 0 {
+		cfg.Tracer = trace.New(*traceCap)
+	}
+
+	if *selfbench > 0 {
+		return runSelfbench(ctx, cfg, logger, out, selfbenchConfig{
+			lookups: *selfbench, shards: *benchShards,
+			providers: *providers, owners: *owners, seed: *seed,
+			baseline: *baseline,
+		})
+	}
+
+	shardURLs, err := parseShards(*shardsSpec)
+	if err != nil {
+		return err
+	}
+	cfg.Shards = shardURLs
+	g, err := gateway.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	listener, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	replicas := 0
+	for _, reps := range shardURLs {
+		replicas += len(reps)
+	}
+	logger.Info("gateway up",
+		slog.String("addr", "http://"+listener.Addr().String()),
+		slog.Int("shards", len(shardURLs)),
+		slog.Int("replicas", replicas),
+		slog.Int("cache", *cacheSize),
+		slog.Int("max_inflight", *maxInFlight))
+	return serve(ctx, listener, g, logger)
+}
+
+// parseShards splits "r1,r2;r3" into per-shard replica URL lists.
+func parseShards(spec string) ([][]string, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("no -shards given (example: -shards \"http://h1:8081;http://h2:8082\")")
+	}
+	var shards [][]string
+	for k, group := range strings.Split(spec, ";") {
+		var replicas []string
+		for _, u := range strings.Split(group, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+				return nil, fmt.Errorf("shard %d replica %q: want an http(s):// base URL", k, u)
+			}
+			replicas = append(replicas, u)
+		}
+		if len(replicas) == 0 {
+			return nil, fmt.Errorf("shard %d has no replica URLs", k)
+		}
+		shards = append(shards, replicas)
+	}
+	return shards, nil
+}
+
+// serve runs the gateway HTTP server until ctx is cancelled, then drains
+// in-flight requests for up to drainTimeout.
+func serve(ctx context.Context, listener net.Listener, handler http.Handler, logger *slog.Logger) error {
+	httpSrv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
+	}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		logger.Info("shutting down", slog.Duration("drain_timeout", drainTimeout))
+		drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		shutdownErr <- httpSrv.Shutdown(drainCtx)
+	}()
+	if err := httpSrv.Serve(listener); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	if ctx.Err() != nil {
+		if err := <-shutdownErr; err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+	}
+	return nil
+}
+
+type selfbenchConfig struct {
+	lookups   int
+	shards    int
+	providers int
+	owners    int
+	seed      int64
+	baseline  string
+}
+
+// benchSnapshot is one appended entry of the BENCH_gateway.json history.
+type benchSnapshot struct {
+	Timestamp string     `json:"timestamp"`
+	Shards    int        `json:"shards"`
+	Providers int        `json:"providers"`
+	Owners    int        `json:"owners"`
+	Seed      int64      `json:"seed"`
+	Lookups   int        `json:"lookups"`
+	Cold      benchPhase `json:"cold"`
+	Warm      benchPhase `json:"warm"`
+}
+
+type benchPhase struct {
+	P50Micros float64 `json:"p50_us"`
+	P95Micros float64 `json:"p95_us"`
+	P99Micros float64 `json:"p99_us"`
+	QPS       float64 `json:"qps"`
+}
+
+// runSelfbench stands up a demo fleet — one loopback HTTP server per
+// column shard of a deterministic demo index — and drives lookups through
+// the full gateway stack, once with a cold cache (every lookup goes
+// upstream) and once warm (every lookup is a cache hit). The resulting
+// latency snapshot is appended to the baseline file.
+func runSelfbench(ctx context.Context, cfg gateway.Config, logger *slog.Logger, out *os.File, bc selfbenchConfig) error {
+	d, err := workload.GenerateZipf(workload.ZipfConfig{
+		Providers: bc.providers, Owners: bc.owners, Exponent: 1.1, Seed: bc.seed,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := core.Construct(d.Matrix, d.Eps, core.Config{
+		Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted, Seed: bc.seed,
+	})
+	if err != nil {
+		return err
+	}
+	parts, err := shard.Partition(res.Published, d.Names, bc.shards)
+	if err != nil {
+		return err
+	}
+	var servers []*http.Server
+	defer func() {
+		for _, s := range servers {
+			_ = s.Close()
+		}
+	}()
+	cfg.Shards = nil
+	for _, srv := range parts {
+		handler, err := httpapi.NewHandler(srv)
+		if err != nil {
+			return err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: handler}
+		go func() { _ = hs.Serve(l) }()
+		servers = append(servers, hs)
+		cfg.Shards = append(cfg.Shards, []string{"http://" + l.Addr().String()})
+	}
+	g, err := gateway.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+
+	run := func() (benchPhase, error) {
+		lat := make([]time.Duration, 0, bc.lookups)
+		start := time.Now()
+		for i := 0; i < bc.lookups; i++ {
+			if err := ctx.Err(); err != nil {
+				return benchPhase{}, err
+			}
+			owner := d.Names[i%len(d.Names)]
+			t0 := time.Now()
+			if _, err := g.Lookup(ctx, owner); err != nil {
+				return benchPhase{}, fmt.Errorf("lookup %q: %w", owner, err)
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		elapsed := time.Since(start)
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		pick := func(p float64) float64 {
+			idx := int(p * float64(len(lat)))
+			if idx >= len(lat) {
+				idx = len(lat) - 1
+			}
+			return float64(lat[idx].Microseconds())
+		}
+		return benchPhase{
+			P50Micros: pick(0.50), P95Micros: pick(0.95), P99Micros: pick(0.99),
+			QPS: float64(bc.lookups) / elapsed.Seconds(),
+		}, nil
+	}
+
+	logger.Info("selfbench: cold pass", slog.Int("lookups", bc.lookups), slog.Int("shards", bc.shards))
+	// Cold: more distinct owners than lookups may exist; every first
+	// lookup of an owner misses. With lookups > owners, later iterations
+	// hit — that is the realistic mixed profile, reported as "cold".
+	cold, err := run()
+	if err != nil {
+		return err
+	}
+	logger.Info("selfbench: warm pass")
+	warm, err := run()
+	if err != nil {
+		return err
+	}
+	snap := benchSnapshot{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Shards:    bc.shards, Providers: bc.providers, Owners: bc.owners,
+		Seed: bc.seed, Lookups: bc.lookups, Cold: cold, Warm: warm,
+	}
+	if err := appendSnapshot(bc.baseline, snap); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "gateway selfbench: %d lookups over %d shards\n", bc.lookups, bc.shards)
+	fmt.Fprintf(out, "  cold: p50=%.0fus p95=%.0fus p99=%.0fus (%.0f qps)\n",
+		cold.P50Micros, cold.P95Micros, cold.P99Micros, cold.QPS)
+	fmt.Fprintf(out, "  warm: p50=%.0fus p95=%.0fus p99=%.0fus (%.0f qps)\n",
+		warm.P50Micros, warm.P95Micros, warm.P99Micros, warm.QPS)
+	fmt.Fprintf(out, "  snapshot appended to %s\n", bc.baseline)
+	return nil
+}
+
+// appendSnapshot appends snap to the JSON array in path (creating it when
+// missing), so the file holds the benchmark history.
+func appendSnapshot(path string, snap benchSnapshot) error {
+	var history []benchSnapshot
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &history); err != nil {
+			return fmt.Errorf("%s holds invalid history: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	history = append(history, snap)
+	buf, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseShards(t *testing.T) {
+	got, err := parseShards("http://a:1,http://b:2; http://c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(got[0]) != 2 || len(got[1]) != 1 {
+		t.Fatalf("parseShards = %v", got)
+	}
+	if got[0][1] != "http://b:2" || got[1][0] != "http://c:3" {
+		t.Fatalf("parseShards = %v", got)
+	}
+	for _, bad := range []string{"", ";", "a:1", "http://a:1;;http://b:2"} {
+		if _, err := parseShards(bad); err == nil {
+			t.Errorf("parseShards(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSelfbenchWritesSnapshot(t *testing.T) {
+	// The full -selfbench path: demo fleet on loopback, lookups through
+	// the gateway, snapshot appended twice to the same history file.
+	baseline := filepath.Join(t.TempDir(), "BENCH_gateway.json")
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	args := []string{
+		"-selfbench", "40", "-bench-shards", "2",
+		"-providers", "10", "-owners", "12",
+		"-baseline", baseline, "-log-level", "error",
+	}
+	for i := 0; i < 2; i++ {
+		if err := run(context.Background(), args, devnull); err != nil {
+			t.Fatalf("selfbench run %d: %v", i, err)
+		}
+	}
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history []benchSnapshot
+	if err := json.Unmarshal(raw, &history); err != nil {
+		t.Fatalf("baseline not a snapshot array: %v\n%s", err, raw)
+	}
+	if len(history) != 2 {
+		t.Fatalf("history has %d entries, want 2 (appended)", len(history))
+	}
+	for i, snap := range history {
+		if snap.Lookups != 40 || snap.Shards != 2 {
+			t.Fatalf("entry %d = %+v", i, snap)
+		}
+		if snap.Cold.QPS <= 0 || snap.Warm.QPS <= 0 {
+			t.Fatalf("entry %d has non-positive qps: %+v", i, snap)
+		}
+	}
+}

@@ -6,23 +6,39 @@
 //
 //	eppi-serve -addr 127.0.0.1:8080 -index index.bin
 //	eppi-serve -addr 127.0.0.1:8080 -providers 50 -owners 20   # demo index
+//	eppi-serve -addr 127.0.0.1:8081 -shard 0/2                 # demo shard node
+//	eppi-serve -addr 127.0.0.1:8081 -index shards/ -shard 0/2  # shard from manifest
 //
-// Endpoints: GET /v1/query?owner=…, GET /v1/stats, GET /v1/healthz,
-// (unless -metrics=false) GET /v1/metrics in Prometheus text format,
-// (unless -trace=0) GET /v1/traces serving recent request traces as
-// Chrome trace-event JSON (load it in Perfetto; ?format=text for an
-// indented tree), and (with -pprof) the net/http/pprof handlers under
-// /debug/pprof/.
+// With -shard k/of the process serves only column shard k of an
+// of-way-partitioned index: identities are assigned to shards by a stable
+// hash of the owner name (internal/shard), so any party can compute the
+// owning shard with no coordination. -index may then name either a shard
+// snapshot file or a directory holding a manifest written by
+// eppi-construct -shards; without -index the demo index is built and
+// partitioned in-process (deterministic under -seed, so independent
+// processes agree on the shard contents). The shard identity is surfaced
+// in /v1/healthz, /v1/metrics (eppi_shard_id / eppi_shard_count) and span
+// attributes.
+//
+// Endpoints: GET /v1/query?owner=…, GET /v1/search?q=…, GET /v1/stats,
+// GET /v1/healthz, (unless -metrics=false) GET /v1/metrics in Prometheus
+// text format, (unless -trace=0) GET /v1/traces serving recent request
+// traces as Chrome trace-event JSON (load it in Perfetto; ?format=text
+// for an indented tree), and (with -pprof) the net/http/pprof handlers
+// under /debug/pprof/.
 //
 // Logs are structured (log/slog); -log-level and -log-format select
 // verbosity and text/json rendering. Records emitted while serving a
 // traced request carry its trace_id/span_id.
 //
 // SIGINT/SIGTERM shut the server down gracefully: in-flight requests are
-// allowed to finish (bounded by a drain timeout) before the process exits.
+// allowed to finish (bounded by a drain timeout) before the process
+// exits, and only then — with no requests left to mutate counters — is
+// the final metrics snapshot taken and logged.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -41,6 +57,7 @@ import (
 	"repro/internal/logx"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -61,7 +78,8 @@ func main() {
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("eppi-serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
-	indexPath := fs.String("index", "", "path to an index exported with WriteIndex (empty: build a demo index)")
+	indexPath := fs.String("index", "", "path to an exported index file, or a shard-set directory with -shard (empty: build a demo index)")
+	shardSpec := fs.String("shard", "", "serve one column shard, as \"k/of\" (e.g. 0/2)")
 	providers := fs.Int("providers", 50, "demo index: number of providers")
 	owners := fs.Int("owners", 20, "demo index: number of owners")
 	seed := fs.Int64("seed", 1, "demo index: random seed")
@@ -78,13 +96,14 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 
-	srv, err := loadOrBuild(*indexPath, *providers, *owners, *seed)
+	srv, err := loadOrBuild(*indexPath, *shardSpec, *providers, *owners, *seed)
 	if err != nil {
 		return err
 	}
+	var reg *metrics.Registry
 	var opts []httpapi.Option
 	if *withMetrics {
-		reg := metrics.NewRegistry()
+		reg = metrics.NewRegistry()
 		metrics.RegisterRuntime(reg)
 		opts = append(opts, httpapi.WithMetrics(reg))
 	}
@@ -108,21 +127,29 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	logger.Info("locator service up",
+	up := []any{
 		slog.String("addr", "http://"+listener.Addr().String()),
 		slog.Int("providers", srv.Providers()),
 		slog.Int("owners", srv.Owners()),
 		slog.Bool("metrics", *withMetrics),
 		slog.Int("trace_ring", *traceCap),
-		slog.Bool("pprof", *withPprof))
-	return serve(ctx, listener, mux, logger)
+		slog.Bool("pprof", *withPprof),
+	}
+	if id, of, sharded := srv.ShardInfo(); sharded {
+		up = append(up, slog.String("shard", fmt.Sprintf("%d/%d", id, of)))
+	}
+	logger.Info("locator service up", up...)
+	return serve(ctx, listener, mux, logger, reg)
 }
 
 // serve runs the HTTP server until the listener closes or ctx is
 // cancelled (SIGINT/SIGTERM in main). On cancellation the server drains
 // in-flight requests for up to drainTimeout before forcing connections
-// closed.
-func serve(ctx context.Context, listener net.Listener, handler http.Handler, logger *slog.Logger) error {
+// closed. The final metrics snapshot is taken strictly AFTER the drain
+// completes: scraping while requests were still finishing used to race
+// the counters being incremented, so the "final" numbers could miss the
+// last requests' worth of traffic.
+func serve(ctx context.Context, listener net.Listener, handler http.Handler, logger *slog.Logger, reg *metrics.Registry) error {
 	httpSrv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -144,12 +171,54 @@ func serve(ctx context.Context, listener net.Listener, handler http.Handler, log
 		if err := <-shutdownErr; err != nil {
 			return fmt.Errorf("shutdown: %w", err)
 		}
+		// Drain is complete: no request can touch the registry anymore,
+		// so this snapshot is consistent.
+		logFinalSnapshot(logger, reg)
 	}
 	return nil
 }
 
-func loadOrBuild(path string, providers, owners int, seed int64) (*index.Server, error) {
+// logFinalSnapshot writes the post-drain metrics exposition to the log:
+// a one-line summary at info, the full exposition at debug.
+func logFinalSnapshot(logger *slog.Logger, reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		logger.Warn("final metrics snapshot failed", slog.Any("error", err))
+		return
+	}
+	logger.Info("final metrics snapshot (post-drain)",
+		slog.Int("exposition_bytes", buf.Len()))
+	logger.Debug("final metrics exposition", slog.String("text", buf.String()))
+}
+
+// parseShardSpec parses "k/of" into a shard assignment.
+func parseShardSpec(spec string) (k, of int, err error) {
+	if n, _ := fmt.Sscanf(spec, "%d/%d", &k, &of); n != 2 || k < 0 || of < 1 || k >= of {
+		return 0, 0, fmt.Errorf("bad -shard %q: want \"k/of\" with 0 <= k < of", spec)
+	}
+	return k, of, nil
+}
+
+func loadOrBuild(path, shardSpec string, providers, owners int, seed int64) (*index.Server, error) {
+	var shardID, shardOf int
+	sharded := shardSpec != ""
+	if sharded {
+		var err error
+		if shardID, shardOf, err = parseShardSpec(shardSpec); err != nil {
+			return nil, err
+		}
+	}
 	if path != "" {
+		info, err := os.Stat(path)
+		if err != nil {
+			return nil, fmt.Errorf("open index: %w", err)
+		}
+		if info.IsDir() {
+			return loadFromManifest(path, shardSpec, sharded, shardID, shardOf)
+		}
 		f, err := os.Open(path)
 		if err != nil {
 			return nil, fmt.Errorf("open index: %w", err)
@@ -158,6 +227,15 @@ func loadOrBuild(path string, providers, owners int, seed int64) (*index.Server,
 		srv, err := index.Read(f)
 		if err != nil {
 			return nil, fmt.Errorf("load index %q: %w", path, err)
+		}
+		if sharded {
+			id, of, ok := srv.ShardInfo()
+			if !ok {
+				return nil, fmt.Errorf("index %q is unsharded but -shard %s was given", path, shardSpec)
+			}
+			if id != shardID || of != shardOf {
+				return nil, fmt.Errorf("index %q holds shard %d/%d, not the requested %s", path, id, of, shardSpec)
+			}
 		}
 		return srv, nil
 	}
@@ -173,5 +251,36 @@ func loadOrBuild(path string, providers, owners int, seed int64) (*index.Server,
 	if err != nil {
 		return nil, err
 	}
-	return index.NewServer(res.Published, d.Names)
+	if !sharded {
+		return index.NewServer(res.Published, d.Names)
+	}
+	// Construction is deterministic under seed (PR 3), so independent
+	// eppi-serve processes with the same demo parameters agree on the
+	// partition — no shared files needed to stand up a demo fleet.
+	parts, err := shard.Partition(res.Published, d.Names, shardOf)
+	if err != nil {
+		return nil, err
+	}
+	return parts[shardID], nil
+}
+
+// loadFromManifest serves shard k/of out of a shard-set directory written
+// by eppi-construct -shards (or shard.WriteSet): the manifest is read and
+// checksum-verified, then the one requested shard file is loaded.
+func loadFromManifest(dir, shardSpec string, sharded bool, shardID, shardOf int) (*index.Server, error) {
+	if !sharded {
+		return nil, fmt.Errorf("index %q is a directory: pick a shard with -shard k/of", dir)
+	}
+	man, err := shard.ReadManifest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("read manifest in %q: %w", dir, err)
+	}
+	if man.Shards != shardOf {
+		return nil, fmt.Errorf("manifest in %q has %d shards, -shard asked for %s", dir, man.Shards, shardSpec)
+	}
+	srv, err := man.LoadShard(dir, shardID)
+	if err != nil {
+		return nil, fmt.Errorf("load shard %d from %q: %w", shardID, dir, err)
+	}
+	return srv, nil
 }

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -18,11 +19,12 @@ import (
 	"repro/internal/index"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
 func TestLoadOrBuildDemo(t *testing.T) {
-	srv, err := loadOrBuild("", 20, 8, 1)
+	srv, err := loadOrBuild("", "", 20, 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +57,7 @@ func TestLoadOrBuildFromFile(t *testing.T) {
 	if err := os.WriteFile(path, buf.Bytes(), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := loadOrBuild(path, 0, 0, 0)
+	loaded, err := loadOrBuild(path, "", 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +76,7 @@ func startServe(t *testing.T, handler http.Handler) (string, context.CancelFunc,
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, listener, handler, slog.New(slog.NewTextHandler(io.Discard, nil))) }()
+	go func() { done <- serve(ctx, listener, handler, slog.New(slog.NewTextHandler(io.Discard, nil)), nil) }()
 	return "http://" + listener.Addr().String(), cancel, done
 }
 
@@ -91,7 +93,7 @@ func waitServe(t *testing.T, done chan error) {
 }
 
 func TestServeEndToEnd(t *testing.T) {
-	srv, err := loadOrBuild("", 10, 4, 5)
+	srv, err := loadOrBuild("", "", 10, 4, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +120,7 @@ func TestServeMetricsEndpoint(t *testing.T) {
 	// The wiring eppi-serve sets up with -metrics (the default): a registry
 	// through WithMetrics instruments both the middleware and the index, and
 	// /v1/metrics serves the exposition.
-	srv, err := loadOrBuild("", 10, 4, 5)
+	srv, err := loadOrBuild("", "", 10, 4, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,15 +199,161 @@ func TestServeDrainsInflightRequests(t *testing.T) {
 	waitServe(t, done)
 }
 
+func TestLoadOrBuildDemoShard(t *testing.T) {
+	// Two independent loads of the same demo shard agree (deterministic
+	// construction), and the shards partition the full demo index.
+	full, err := loadOrBuild("", "", 20, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for k := 0; k < 2; k++ {
+		spec := []string{"0/2", "1/2"}[k]
+		srv, err := loadOrBuild("", spec, 20, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, of, sharded := srv.ShardInfo()
+		if !sharded || id != k || of != 2 {
+			t.Fatalf("shard %s: ShardInfo = %d/%d (%v)", spec, id, of, sharded)
+		}
+		for _, name := range srv.Names() {
+			want, err := full.Query(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := srv.Query(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("shard answer for %q differs from full index", name)
+			}
+		}
+		total += srv.Owners()
+	}
+	if total != full.Owners() {
+		t.Fatalf("shards cover %d owners, full index has %d", total, full.Owners())
+	}
+}
+
+func TestLoadOrBuildFromManifestDir(t *testing.T) {
+	// Export a shard set the way eppi-construct -shards does, then load
+	// one shard through the serve path.
+	full, err := loadOrBuild("", "", 12, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := shard.WriteSet(dir, full.PublishedMatrix(), full.Names(), 2); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := loadOrBuild(dir, "1/2", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, of, sharded := srv.ShardInfo(); !sharded || id != 1 || of != 2 {
+		t.Fatalf("ShardInfo = %d/%d (%v)", id, of, sharded)
+	}
+	// Wrong shard count and missing -shard are rejected.
+	if _, err := loadOrBuild(dir, "0/3", 0, 0, 0); err == nil {
+		t.Error("manifest with 2 shards served -shard 0/3")
+	}
+	if _, err := loadOrBuild(dir, "", 0, 0, 0); err == nil {
+		t.Error("directory index loaded without -shard")
+	}
+}
+
+func TestParseShardSpec(t *testing.T) {
+	if k, of, err := parseShardSpec("1/3"); err != nil || k != 1 || of != 3 {
+		t.Fatalf("parseShardSpec(1/3) = %d, %d, %v", k, of, err)
+	}
+	for _, bad := range []string{"", "x", "3/3", "-1/2", "1-2", "2"} {
+		if _, _, err := parseShardSpec(bad); err == nil {
+			t.Errorf("parseShardSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestServeFinalSnapshotAfterDrain(t *testing.T) {
+	// The final metrics snapshot is logged only after the drain finishes,
+	// so its numbers include the last in-flight request.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	reg := metrics.NewRegistry()
+	requests := reg.Counter("test_requests_total", "requests handled")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		requests.Inc()
+		io.WriteString(w, "done")
+	})
+	listener, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, listener, mux, logger, reg) }()
+
+	got := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + listener.Addr().String() + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+		got <- err
+	}()
+	<-started
+	cancel() // shutdown begins while /slow is in flight
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-got; err != nil {
+		t.Fatalf("in-flight request failed: %v", err)
+	}
+	waitServe(t, done)
+	logs := logBuf.String()
+	if !strings.Contains(logs, "final metrics snapshot") {
+		t.Fatalf("no final snapshot logged:\n%s", logs)
+	}
+	// The snapshot exposition (debug line) includes the counter the
+	// in-flight request incremented — proof it was taken post-drain.
+	if !strings.Contains(logs, "test_requests_total 1") {
+		t.Fatalf("final snapshot missed the drained request's counter:\n%s", logs)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer for concurrent log writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
 func TestLoadOrBuildErrors(t *testing.T) {
-	if _, err := loadOrBuild(filepath.Join(t.TempDir(), "missing.bin"), 0, 0, 0); err == nil {
+	if _, err := loadOrBuild(filepath.Join(t.TempDir(), "missing.bin"), "", 0, 0, 0); err == nil {
 		t.Error("missing index file accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.bin")
 	if err := os.WriteFile(bad, []byte("garbage"), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadOrBuild(bad, 0, 0, 0); err == nil {
+	if _, err := loadOrBuild(bad, "", 0, 0, 0); err == nil {
 		t.Error("garbage index file accepted")
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/httpapi"
 	"repro/internal/index"
+	"repro/internal/shard"
 )
 
 // This file implements the deployment split of the paper's system model:
@@ -23,6 +24,25 @@ func (n *Network) WriteIndex(w io.Writer) (int64, error) {
 		return 0, err
 	}
 	return srv.WriteTo(w)
+}
+
+// WriteShardSet exports the constructed index as a column-sharded set for
+// distributed hosting: dir receives one snapshot per shard plus a
+// checksummed manifest (internal/shard). Identities are assigned to
+// shards by a stable hash of the owner name, so any party — the gateway,
+// a client, another provider — computes the owning shard without
+// coordination. Each shard file carries only public state, exactly like
+// WriteIndex. It fails before ConstructPPI.
+func (n *Network) WriteShardSet(dir string, shards int) (*shard.Manifest, error) {
+	srv, err := n.serverHandle()
+	if err != nil {
+		return nil, err
+	}
+	man, err := shard.WriteSet(dir, srv.PublishedMatrix(), srv.Names(), shards)
+	if err != nil {
+		return nil, fmt.Errorf("eppi: write shard set: %w", err)
+	}
+	return man, nil
 }
 
 // HostedService is the untrusted locator service: it can answer QueryPPI

@@ -104,3 +104,49 @@ func TestReadHostedServiceGarbage(t *testing.T) {
 		t.Fatal("garbage accepted")
 	}
 }
+
+func TestWriteShardSet(t *testing.T) {
+	net := buildHospitalNetwork(t)
+	dir := t.TempDir()
+	if _, err := net.WriteShardSet(dir, 2); !errors.Is(err, ErrNotConstructed) {
+		t.Fatalf("pre-construction error = %v", err)
+	}
+	if _, err := net.ConstructPPI(WithSeed(21)); err != nil {
+		t.Fatal(err)
+	}
+	man, err := net.WriteShardSet(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Shards != 2 || man.Owners != 3 {
+		t.Fatalf("manifest = %+v", man)
+	}
+	if err := man.Verify(dir); err != nil {
+		t.Fatalf("fresh shard set fails verification: %v", err)
+	}
+	// Every owner answers identically from its shard.
+	owners := 0
+	for k := 0; k < man.Shards; k++ {
+		srv, err := man.LoadShard(dir, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range srv.Names() {
+			want, err := net.Query(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := srv.Query(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("shard %d answer for %q differs", k, name)
+			}
+			owners++
+		}
+	}
+	if owners != 3 {
+		t.Fatalf("shards cover %d owners, want 3", owners)
+	}
+}

@@ -1,0 +1,129 @@
+package gateway
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// lookupResult is one cacheable QueryPPI outcome. Caching responses at
+// the gateway is safe because M' is public by construction: the Eq. 2
+// false-positive noise is baked into the index at publication time, not
+// sampled per query, so every lookup of an owner returns the same
+// provider list until a new index version is published. "Owner unknown"
+// is equally stable, so negative results are cached too.
+type lookupResult struct {
+	providers []int
+	notFound  bool
+}
+
+// cache is a fixed-capacity LRU of lookupResults keyed by owner name.
+// All methods are safe for concurrent use.
+type cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent; values are *cacheEntry
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val lookupResult
+}
+
+// newCache returns an LRU holding up to capacity entries; capacity <= 0
+// returns nil, and a nil cache misses on every get and drops every put.
+func newCache(capacity int) *cache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element, capacity)}
+}
+
+func (c *cache) get(key string) (lookupResult, bool) {
+	if c == nil {
+		return lookupResult{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return lookupResult{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *cache) put(key string, val lookupResult) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the live entry count.
+func (c *cache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flight deduplicates concurrent lookups of the same key: one caller (the
+// leader) does the upstream work, everyone else waits for its result. A
+// thundering herd on a hot owner becomes one upstream request.
+type flight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  lookupResult
+	err  error
+}
+
+func newFlight() *flight {
+	return &flight{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn for key, deduplicating concurrent callers. Followers honor
+// their own context while waiting: a follower whose ctx dies stops
+// waiting without affecting the leader. shared reports whether the
+// result came from another caller's execution.
+func (f *flight) do(ctx context.Context, key string, fn func() (lookupResult, error)) (val lookupResult, shared bool, err error) {
+	f.mu.Lock()
+	if call, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.val, true, call.err
+		case <-ctx.Done():
+			return lookupResult{}, true, ctx.Err()
+		}
+	}
+	call := &flightCall{done: make(chan struct{})}
+	f.calls[key] = call
+	f.mu.Unlock()
+
+	call.val, call.err = fn()
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	close(call.done)
+	return call.val, false, call.err
+}

@@ -1,0 +1,458 @@
+// Package gateway is the query-routing tier of the distributed ε-PPI
+// serving architecture: a stateless front door over a fleet of
+// column-shard index nodes (internal/shard served by eppi-serve -shard).
+//
+// A Lookup(owner) is routed to the one shard owning the identity under
+// the stable hash (shard.For); a Search fans out to every shard and
+// merges. On top of plain routing the gateway layers the techniques a
+// locator service needs to face heavy traffic:
+//
+//   - response caching: an LRU over lookup results, safe because M' is
+//     public by construction — the Eq. 2 noise is fixed at publication
+//     time, so a cached answer equals a fresh one until the next index
+//     version. Concurrent misses on one owner are deduplicated
+//     (singleflight) so a hot identity costs one upstream request.
+//   - hedged requests: when a lookup exceeds an adaptive latency
+//     percentile of recent upstream calls, a second request is fired at
+//     the next replica and the first answer wins — tail latency of a slow
+//     or dying node stops defining the gateway's tail.
+//   - health probing with failover: replicas are probed periodically;
+//     lookups prefer healthy replicas and fall back through the rest.
+//     A replica answering with the wrong shard identity is treated as
+//     down (it would return wrong results, worse than none).
+//   - load shedding: a bounded in-flight gate with a queue-wait deadline
+//     turns overload into fast 503s instead of collapse.
+//
+// Everything reports through internal/metrics (cache hit/miss, hedges,
+// sheds, per-replica health) and internal/trace (one root span per
+// request, child spans per upstream attempt, trace ids propagated to
+// shard nodes via the httpapi headers).
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/index"
+	"repro/internal/metrics"
+	"repro/internal/shard"
+	"repro/internal/trace"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultCacheSize   = 4096
+	DefaultMaxInFlight = 256
+	DefaultQueueWait   = 100 * time.Millisecond
+	DefaultProbePeriod = 2 * time.Second
+	// defaultHedgeFloor/Ceil clamp the adaptive hedge trigger.
+	defaultHedgeFloor = 2 * time.Millisecond
+	defaultHedgeCeil  = time.Second
+	// hedgePercentile is the latency quantile that arms the hedge.
+	hedgePercentile = 0.95
+)
+
+// Config wires a Gateway.
+type Config struct {
+	// Shards lists, per shard id, the base URLs of the replicas serving
+	// that shard. Every shard needs at least one replica.
+	Shards [][]string
+	// CacheSize is the response-cache capacity in entries; < 0 disables
+	// caching, 0 means DefaultCacheSize.
+	CacheSize int
+	// MaxInFlight bounds concurrently admitted requests; 0 means
+	// DefaultMaxInFlight.
+	MaxInFlight int
+	// QueueWait is how long an arriving request may wait for admission
+	// before being shed with a 503; 0 means DefaultQueueWait.
+	QueueWait time.Duration
+	// HedgeAfter fixes the hedge trigger delay. 0 selects the adaptive
+	// trigger (the p95 of recent upstream latencies); < 0 disables
+	// hedging.
+	HedgeAfter time.Duration
+	// ProbePeriod is the health-probe interval; 0 means
+	// DefaultProbePeriod, < 0 disables probing (all replicas stay
+	// trusted until a lookup fails through them).
+	ProbePeriod time.Duration
+	// Client is the upstream HTTP client shared by all shard clients; nil
+	// uses the httpapi default (DefaultTimeout, retries on).
+	Client *http.Client
+	// Registry receives gateway metrics; nil disables them.
+	Registry *metrics.Registry
+	// Tracer records gateway request traces; nil disables tracing.
+	Tracer *trace.Tracer
+	// Logger receives health-transition and shed logs; nil discards.
+	Logger *slog.Logger
+}
+
+// Gateway routes locator queries across shard nodes. Create with New;
+// Close stops the health prober.
+type Gateway struct {
+	shards  []*shardState
+	cache   *cache
+	flight  *flight
+	gate    *gate
+	lat     *latencyWindow
+	hedge   time.Duration // fixed trigger; 0 = adaptive, -1 = disabled
+	tracer  *trace.Tracer
+	reg     *metrics.Registry
+	logger  *slog.Logger
+	mux     *http.ServeMux
+	inst    instruments
+	probeWG sync.WaitGroup
+	stop    context.CancelFunc
+}
+
+// instruments are the gateway's registry-backed counters. All fields
+// no-op when nil (no registry).
+type instruments struct {
+	lookups    *metrics.Counter
+	searches   *metrics.Counter
+	cacheHits  *metrics.Counter
+	cacheMiss  *metrics.Counter
+	hedges     *metrics.Counter
+	hedgeWins  *metrics.Counter
+	sheds      *metrics.Counter
+	failovers  *metrics.Counter
+	upstream   *metrics.Histogram
+	inflightG  *metrics.Gauge
+	cacheSizeG *metrics.Gauge
+}
+
+// New builds a gateway over cfg.Shards and starts its health prober.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("gateway: no shards configured")
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	queueWait := cfg.QueueWait
+	if queueWait <= 0 {
+		queueWait = DefaultQueueWait
+	}
+	hedge := cfg.HedgeAfter
+	if hedge < 0 {
+		hedge = -1
+	}
+	g := &Gateway{
+		cache:  newCache(cacheSize),
+		flight: newFlight(),
+		lat:    &latencyWindow{},
+		hedge:  hedge,
+		tracer: cfg.Tracer,
+		reg:    cfg.Registry,
+		logger: logger,
+	}
+	g.gate = newGate(maxInFlight, queueWait)
+	if g.reg != nil {
+		g.inst = instruments{
+			lookups:    g.reg.Counter("eppi_gateway_lookups_total", "Lookups admitted by the gateway."),
+			searches:   g.reg.Counter("eppi_gateway_searches_total", "Fan-out searches admitted by the gateway."),
+			cacheHits:  g.reg.Counter("eppi_gateway_cache_hits_total", "Lookups answered from the response cache."),
+			cacheMiss:  g.reg.Counter("eppi_gateway_cache_misses_total", "Lookups that went upstream."),
+			hedges:     g.reg.Counter("eppi_gateway_hedges_total", "Hedged (duplicate) upstream requests fired."),
+			hedgeWins:  g.reg.Counter("eppi_gateway_hedge_wins_total", "Lookups answered by the hedge, not the primary."),
+			sheds:      g.reg.Counter("eppi_gateway_shed_total", "Requests shed by the admission gate (503)."),
+			failovers:  g.reg.Counter("eppi_gateway_failovers_total", "Lookups that fell over to a non-primary replica after a failure."),
+			upstream:   g.reg.Histogram("eppi_gateway_upstream_seconds", "Upstream shard request latency.", metrics.DefDurationBuckets),
+			inflightG:  g.reg.Gauge("eppi_gateway_inflight", "Requests currently admitted."),
+			cacheSizeG: g.reg.Gauge("eppi_gateway_cache_entries", "Live response-cache entries."),
+		}
+		g.reg.OnCollect(func() { g.inst.cacheSizeG.Set(float64(g.cache.len())) })
+		g.reg.Gauge("eppi_gateway_shards", "Shard count the gateway routes over.").Set(float64(len(cfg.Shards)))
+	}
+	for k, bases := range cfg.Shards {
+		if len(bases) == 0 {
+			return nil, fmt.Errorf("gateway: shard %d has no replicas", k)
+		}
+		st := &shardState{id: k}
+		for i, base := range bases {
+			r := &replica{base: base, client: httpapi.NewClient(base, cfg.Client)}
+			r.up.Store(true) // trusted until a probe or a lookup says otherwise
+			r.upG = g.reg.Gauge("eppi_gateway_replica_up",
+				"1 when the replica answered its last health probe.",
+				metrics.L("shard", replicaLabel(k)), metrics.L("replica", replicaLabel(i)))
+			st.replicas = append(st.replicas, r)
+		}
+		g.shards = append(g.shards, st)
+	}
+	g.buildMux()
+	probeCtx, stop := context.WithCancel(context.Background())
+	g.stop = stop
+	period := cfg.ProbePeriod
+	if period == 0 {
+		period = DefaultProbePeriod
+	}
+	if period > 0 {
+		g.probeWG.Add(1)
+		go g.probeLoop(probeCtx, period)
+	}
+	return g, nil
+}
+
+// Close stops the health prober. The handler keeps working (probing
+// verdicts just freeze).
+func (g *Gateway) Close() {
+	g.stop()
+	g.probeWG.Wait()
+}
+
+// Shards returns the shard count the gateway routes over.
+func (g *Gateway) Shards() int { return len(g.shards) }
+
+// errAllReplicasFailed reports a lookup that exhausted every replica.
+var errAllReplicasFailed = errors.New("gateway: all replicas failed")
+
+// hedgeDelay returns the current hedge trigger, or -1 when hedging is
+// disabled.
+func (g *Gateway) hedgeDelay() time.Duration {
+	if g.hedge > 0 || g.hedge == -1 {
+		return g.hedge
+	}
+	d := g.lat.percentile(hedgePercentile, 50*time.Millisecond)
+	if d < defaultHedgeFloor {
+		d = defaultHedgeFloor
+	}
+	if d > defaultHedgeCeil {
+		d = defaultHedgeCeil
+	}
+	return d
+}
+
+// Lookup answers QueryPPI(owner) through cache, singleflight, routing,
+// hedging and failover. It is the programmatic form of GET /v1/query.
+func (g *Gateway) Lookup(ctx context.Context, owner string) ([]int, error) {
+	res, _, err := g.lookup(ctx, owner)
+	if err != nil {
+		return nil, err
+	}
+	if res.notFound {
+		return nil, fmt.Errorf("%w: %q", httpapi.ErrOwnerNotFound, owner)
+	}
+	return res.providers, nil
+}
+
+// lookup implements Lookup; cached reports whether the answer came from
+// the response cache (for the span annotation and the handler's counters).
+func (g *Gateway) lookup(ctx context.Context, owner string) (lookupResult, bool, error) {
+	g.inst.lookups.Inc()
+	if res, ok := g.cache.get(owner); ok {
+		g.inst.cacheHits.Inc()
+		return res, true, nil
+	}
+	g.inst.cacheMiss.Inc()
+	res, shared, err := g.flight.do(ctx, owner, func() (lookupResult, error) {
+		res, err := g.fetch(ctx, owner)
+		if err == nil {
+			g.cache.put(owner, res)
+		}
+		return res, err
+	})
+	// A shared result came from the leader's upstream call: it hit
+	// neither this caller's cache nor upstream twice — report it as a
+	// (deduplicated) miss, which the counters above already did.
+	_ = shared
+	return res, false, err
+}
+
+// fetch resolves one owner upstream: route to the owning shard, try its
+// candidate replicas with hedging, fail over on errors.
+func (g *Gateway) fetch(ctx context.Context, owner string) (lookupResult, error) {
+	k := shard.For(owner, len(g.shards))
+	ctx, sp := trace.StartChild(ctx, "gateway.fetch")
+	sp.SetInt("shard", k)
+	defer sp.End()
+
+	candidates := g.shards[k].candidates()
+	res, winner, hedged, err := g.race(ctx, owner, candidates)
+	if err != nil {
+		sp.Set("error", err.Error())
+		return lookupResult{}, err
+	}
+	if winner > 0 {
+		g.inst.failovers.Inc()
+	}
+	sp.SetInt("winner_replica", winner)
+	sp.Set("hedged", fmt.Sprintf("%v", hedged))
+	return res, nil
+}
+
+// race tries candidates in order: the first is fired immediately, the
+// next when the hedge delay elapses without an answer or the previous
+// attempt fails. The first definitive answer wins; remaining attempts are
+// cancelled. A 404 is definitive (the shard authoritatively does not know
+// the owner); transport errors and 5xx fall through to the next replica.
+func (g *Gateway) race(ctx context.Context, owner string, candidates []*replica) (lookupResult, int, bool, error) {
+	type outcome struct {
+		res lookupResult
+		err error
+		idx int
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan outcome, len(candidates))
+	launch := func(idx int) {
+		r := candidates[idx]
+		go func() {
+			_, sp := trace.StartChild(raceCtx, "gateway.upstream")
+			sp.Set("replica", r.base)
+			sp.SetInt("attempt", idx)
+			start := time.Now()
+			providers, err := r.client.Query(raceCtx, owner)
+			elapsed := time.Since(start)
+			g.inst.upstream.Observe(elapsed.Seconds())
+			if err == nil || errors.Is(err, httpapi.ErrOwnerNotFound) {
+				g.lat.observe(elapsed)
+			}
+			if err != nil {
+				sp.Set("error", err.Error())
+			}
+			sp.End()
+			switch {
+			case err == nil:
+				results <- outcome{res: lookupResult{providers: providers}, idx: idx}
+			case errors.Is(err, httpapi.ErrOwnerNotFound):
+				results <- outcome{res: lookupResult{notFound: true}, idx: idx}
+			default:
+				results <- outcome{err: err, idx: idx}
+			}
+		}()
+	}
+
+	launch(0)
+	inFlight := 1
+	next := 1
+	hedged := false
+	var firstErr error
+	hedge := g.hedgeDelay()
+	var timer *time.Timer
+	var hedgeC <-chan time.Time
+	if hedge > 0 && next < len(candidates) {
+		timer = time.NewTimer(hedge)
+		hedgeC = timer.C
+		defer timer.Stop()
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return lookupResult{}, 0, hedged, ctx.Err()
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(candidates) {
+				g.inst.hedges.Inc()
+				hedged = true
+				launch(next)
+				next++
+				inFlight++
+			}
+		case out := <-results:
+			if out.err == nil {
+				if hedged && out.idx > 0 {
+					g.inst.hedgeWins.Inc()
+				}
+				return out.res, out.idx, hedged, nil
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			inFlight--
+			// An attempt failed: immediately try the next replica (don't
+			// wait for the hedge timer — failure is a stronger signal).
+			if next < len(candidates) {
+				launch(next)
+				next++
+				inFlight++
+			} else if inFlight == 0 {
+				return lookupResult{}, 0, hedged, fmt.Errorf("%w (%d tried): %v", errAllReplicasFailed, len(candidates), firstErr)
+			}
+		}
+	}
+}
+
+// SearchAll fans a substring search out to every shard (one healthy
+// replica each, with failover) and merges the results in owner order.
+func (g *Gateway) SearchAll(ctx context.Context, q string, limit int) ([]index.Match, error) {
+	g.inst.searches.Inc()
+	ctx, sp := trace.StartChild(ctx, "gateway.search_fanout")
+	defer sp.End()
+	type shardOut struct {
+		matches []index.Match
+		err     error
+	}
+	outs := make([]shardOut, len(g.shards))
+	var wg sync.WaitGroup
+	for k, st := range g.shards {
+		wg.Add(1)
+		go func(k int, st *shardState) {
+			defer wg.Done()
+			var lastErr error
+			for _, r := range st.candidates() {
+				matches, err := r.client.Search(ctx, q, limit)
+				if err == nil {
+					outs[k] = shardOut{matches: matches}
+					return
+				}
+				lastErr = err
+			}
+			outs[k] = shardOut{err: fmt.Errorf("shard %d: %w", k, lastErr)}
+		}(k, st)
+	}
+	wg.Wait()
+	var merged []index.Match
+	for _, out := range outs {
+		if out.err != nil {
+			sp.Set("error", out.err.Error())
+			return nil, out.err
+		}
+		merged = append(merged, out.matches...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Owner < merged[j].Owner })
+	if limit > 0 && len(merged) > limit {
+		merged = merged[:limit]
+	}
+	sp.SetInt("matches", len(merged))
+	return merged, nil
+}
+
+// AggregateStats sums the per-shard load counters (first healthy replica
+// of each shard). Shards that cannot be reached are skipped; reached
+// reports how many answered.
+func (g *Gateway) AggregateStats(ctx context.Context) (httpapi.StatsResponse, int) {
+	var total httpapi.StatsResponse
+	var fanoutWeighted float64
+	reached := 0
+	for _, st := range g.shards {
+		for _, r := range st.candidates() {
+			sr, err := r.client.Stats(ctx)
+			if err != nil {
+				continue
+			}
+			total.Queries += sr.Queries
+			fanoutWeighted += sr.AvgFanout * float64(sr.Queries)
+			reached++
+			break
+		}
+	}
+	if total.Queries > 0 {
+		total.AvgFanout = fanoutWeighted / float64(total.Queries)
+	}
+	return total, reached
+}

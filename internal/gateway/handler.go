@@ -1,0 +1,287 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/index"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// gate is the load-shedding admission control: a bounded in-flight
+// semaphore with a queue-wait deadline. A request that cannot be
+// admitted within the wait is shed — the gateway answers 503 fast
+// instead of queueing into collapse.
+type gate struct {
+	sem  chan struct{}
+	wait time.Duration
+}
+
+func newGate(maxInFlight int, wait time.Duration) *gate {
+	return &gate{sem: make(chan struct{}, maxInFlight), wait: wait}
+}
+
+// errShed reports an admission-gate rejection.
+var errShed = errors.New("gateway: overloaded, request shed")
+
+// acquire admits the request or sheds it. The caller must release() on
+// every nil return.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	timer := time.NewTimer(g.wait)
+	defer timer.Stop()
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-timer.C:
+		return errShed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *gate) release() { <-g.sem }
+
+// inFlight returns the currently admitted request count.
+func (g *gate) inFlight() int { return len(g.sem) }
+
+// GatewayHealthz is the gateway's /v1/healthz payload: per-shard replica
+// liveness as last probed. Status is "ok" while every shard has at least
+// one live replica, "degraded" otherwise.
+type GatewayHealthz struct {
+	Status   string     `json:"status"`
+	Shards   int        `json:"shards"`
+	Replicas [][]string `json:"replicas"` // [shard][replica] = "up" | "down"
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// buildMux wires the gateway routes. Admission control covers the query
+// paths (/v1/query, /v1/search); the observability endpoints stay
+// reachable under overload — an operator debugging a shedding gateway
+// needs /v1/metrics most exactly then.
+func (g *Gateway) buildMux() {
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("GET /v1/query", g.wrap("query", true, g.handleQuery))
+	g.mux.HandleFunc("GET /v1/search", g.wrap("search", true, g.handleSearch))
+	g.mux.HandleFunc("GET /v1/stats", g.wrap("stats", false, g.handleStats))
+	g.mux.HandleFunc("GET /v1/healthz", g.wrap("healthz", false, g.handleHealthz))
+	if g.reg != nil {
+		g.mux.HandleFunc("GET /v1/metrics", g.instrument("metrics", g.handleMetrics))
+	}
+	if g.tracer != nil {
+		g.mux.HandleFunc("GET /v1/traces", g.instrument("traces", g.handleTraces))
+	}
+}
+
+// wrap layers admission control (when gated), tracing and metrics around
+// a route handler, mirroring the shard-node middleware stack so gateway
+// and shard expositions read alike.
+func (g *Gateway) wrap(route string, gated bool, fn http.HandlerFunc) http.HandlerFunc {
+	h := g.traced(route, fn)
+	if gated {
+		h = g.admitted(h)
+	}
+	return g.instrument(route, h)
+}
+
+// admitted applies the load-shedding gate.
+func (g *Gateway) admitted(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := g.gate.acquire(r.Context()); err != nil {
+			if errors.Is(err, errShed) {
+				g.inst.sheds.Inc()
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+				return
+			}
+			// Client went away while queued.
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+			return
+		}
+		g.inst.inflightG.Set(float64(g.gate.inFlight()))
+		defer func() {
+			g.gate.release()
+			g.inst.inflightG.Set(float64(g.gate.inFlight()))
+		}()
+		fn(w, r)
+	}
+}
+
+// traced opens the per-request root span (joining a caller's trace when
+// the propagation headers are present) and threads it through the
+// request context, so the fetch/upstream child spans hang underneath and
+// upstream shard calls carry the same trace id.
+func (g *Gateway) traced(route string, fn http.HandlerFunc) http.HandlerFunc {
+	if g.tracer == nil {
+		return fn
+	}
+	name := "gateway." + route
+	return func(w http.ResponseWriter, r *http.Request) {
+		var ctx context.Context
+		var sp *trace.Span
+		if tid, ok := trace.ParseID(r.Header.Get(httpapi.TraceIDHeader)); ok && tid != 0 {
+			parent, _ := trace.ParseID(r.Header.Get(httpapi.ParentSpanHeader))
+			ctx, sp = g.tracer.StartRemote(r.Context(), name, trace.TraceID(tid), trace.SpanID(parent))
+		} else {
+			ctx, sp = g.tracer.StartRoot(r.Context(), name)
+		}
+		sp.Set("route", route)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		fn(sw, r.WithContext(ctx))
+		sp.SetInt("status", sw.code)
+		sp.End()
+	}
+}
+
+// statusClasses mirror the httpapi middleware labels.
+var statusClasses = [6]string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// instrument records per-route latency and status classes, exactly like
+// the shard-node middleware.
+func (g *Gateway) instrument(route string, fn http.HandlerFunc) http.HandlerFunc {
+	if g.reg == nil {
+		return fn
+	}
+	routeLabel := metrics.L("route", route)
+	latency := g.reg.Histogram("eppi_gateway_request_seconds",
+		"Gateway request latency by route.", metrics.DefDurationBuckets, routeLabel)
+	classes := make(map[string]*metrics.Counter, 4)
+	for _, class := range statusClasses[1:] {
+		classes[class] = g.reg.Counter("eppi_gateway_requests_total",
+			"Gateway requests by route and status class.", routeLabel, metrics.L("class", class))
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		fn(sw, r)
+		latency.ObserveSince(start)
+		if cls := sw.code / 100; cls >= 1 && cls <= 5 {
+			classes[statusClasses[cls]].Inc()
+		}
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
+	owner := r.URL.Query().Get("owner")
+	if owner == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing owner parameter"})
+		return
+	}
+	res, cached, err := g.lookup(r.Context(), owner)
+	if sp := trace.FromContext(r.Context()); sp != nil {
+		sp.Set("cache", map[bool]string{true: "hit", false: "miss"}[cached])
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		return
+	}
+	if res.notFound {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "owner not found: " + owner})
+		return
+	}
+	providers := res.providers
+	if providers == nil {
+		providers = []int{}
+	}
+	writeJSON(w, http.StatusOK, httpapi.QueryResponse{Owner: owner, Providers: providers})
+}
+
+func (g *Gateway) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad limit parameter"})
+			return
+		}
+		limit = n
+	}
+	matches, err := g.SearchAll(r.Context(), q, limit)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		return
+	}
+	if matches == nil {
+		matches = []index.Match{}
+	}
+	writeJSON(w, http.StatusOK, httpapi.SearchResponse{Results: matches})
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats, _ := g.AggregateStats(r.Context())
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := GatewayHealthz{Status: "ok", Shards: len(g.shards), Replicas: make([][]string, len(g.shards))}
+	for k, st := range g.shards {
+		live := 0
+		states := make([]string, len(st.replicas))
+		for i, rep := range st.replicas {
+			if rep.up.Load() {
+				states[i] = "up"
+				live++
+			} else {
+				states[i] = "down"
+			}
+		}
+		resp.Replicas[k] = states
+		if live == 0 {
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = g.reg.WriteTo(w)
+}
+
+func (g *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = g.tracer.WriteTrees(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = trace.WriteChrome(w, g.tracer.Recent())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -4,9 +4,15 @@
 // beyond the published index:
 //
 //	GET /v1/query?owner=<identity>   → {"owner": ..., "providers": [ids]}
+//	GET /v1/search?q=<substr>        → {"results": [{"owner": ..., "providers": [ids]}]}
 //	GET /v1/stats                    → {"queries": n, "avgFanout": f}
 //	GET /v1/healthz                  → {"status": "ok", "providers": m, "owners": n}
 //	GET /v1/metrics                  → Prometheus text exposition (when enabled)
+//
+// A server holding one column shard of a larger index (internal/shard)
+// additionally reports its shard identity in /v1/healthz and annotates
+// every root span with shard/shards attributes, so a gateway (or a
+// human) can always tell which slice of the index answered.
 //
 // AuthSearch is intentionally absent: the second search phase happens at
 // the providers, never at the untrusted host.
@@ -22,8 +28,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"repro/internal/index"
@@ -84,6 +93,10 @@ func NewHandler(srv *index.Server, opts ...Option) (*Handler, error) {
 	if h.reg != nil {
 		srv.Instrument(h.reg)
 		h.mux.HandleFunc("GET /v1/metrics", h.instrument("metrics", h.handleMetrics))
+		if id, of, sharded := srv.ShardInfo(); sharded {
+			h.reg.Gauge("eppi_shard_id", "Column shard id this node serves.").Set(float64(id))
+			h.reg.Gauge("eppi_shard_count", "Total shards in the index partition.").Set(float64(of))
+		}
 	}
 	if h.tracer != nil {
 		// /v1/traces itself is excluded from tracing so reading the ring
@@ -91,6 +104,7 @@ func NewHandler(srv *index.Server, opts ...Option) (*Handler, error) {
 		h.mux.HandleFunc("GET /v1/traces", h.instrument("traces", h.handleTraces))
 	}
 	h.mux.HandleFunc("GET /v1/query", h.wrap("query", h.handleQuery))
+	h.mux.HandleFunc("GET /v1/search", h.wrap("search", h.handleSearch))
 	h.mux.HandleFunc("GET /v1/stats", h.wrap("stats", h.handleStats))
 	h.mux.HandleFunc("GET /v1/healthz", h.wrap("healthz", h.handleHealthz))
 	return h, nil
@@ -124,6 +138,10 @@ func (h *Handler) traced(route string, fn http.HandlerFunc) http.HandlerFunc {
 		}
 		sp.Set("method", r.Method)
 		sp.Set("route", route)
+		if id, of, sharded := h.server.ShardInfo(); sharded {
+			sp.SetInt("shard", id)
+			sp.SetInt("shards", of)
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		fn(sw, r.WithContext(ctx))
 		sp.SetInt("status", sw.code)
@@ -182,17 +200,31 @@ type QueryResponse struct {
 	Providers []int  `json:"providers"`
 }
 
+// SearchResponse is the /v1/search payload.
+type SearchResponse struct {
+	Results []index.Match `json:"results"`
+}
+
 // StatsResponse is the /v1/stats payload.
 type StatsResponse struct {
 	Queries   uint64  `json:"queries"`
 	AvgFanout float64 `json:"avgFanout"`
 }
 
-// HealthzResponse is the /v1/healthz payload.
+// ShardRef identifies which column shard of a partitioned index a node
+// serves.
+type ShardRef struct {
+	ID int `json:"id"`
+	Of int `json:"of"`
+}
+
+// HealthzResponse is the /v1/healthz payload. Shard is nil for a node
+// serving a full, unsharded index.
 type HealthzResponse struct {
-	Status    string `json:"status"`
-	Providers int    `json:"providers"`
-	Owners    int    `json:"owners"`
+	Status    string    `json:"status"`
+	Providers int       `json:"providers"`
+	Owners    int       `json:"owners"`
+	Shard     *ShardRef `json:"shard,omitempty"`
 }
 
 // errorResponse is the uniform error payload.
@@ -226,12 +258,40 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{Queries: st.Queries, AvgFanout: st.AvgFanout})
 }
 
+// maxSearchResults caps one /v1/search response: the endpoint exists for
+// gateway fan-out and exploration, not bulk export.
+const maxSearchResults = 1000
+
+func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	limit := maxSearchResults
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad limit parameter"})
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	results := h.server.Search(r.Context(), q, limit)
+	if results == nil {
+		results = []index.Match{}
+	}
+	writeJSON(w, http.StatusOK, SearchResponse{Results: results})
+}
+
 func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthzResponse{
+	resp := HealthzResponse{
 		Status:    "ok",
 		Providers: h.server.Providers(),
 		Owners:    h.server.Owners(),
-	})
+	}
+	if id, of, sharded := h.server.ShardInfo(); sharded {
+		resp.Shard = &ShardRef{ID: id, Of: of}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (h *Handler) handleTraces(w http.ResponseWriter, r *http.Request) {
@@ -266,30 +326,82 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // *http.Client: a hung locator must not hang every searcher.
 const DefaultTimeout = 10 * time.Second
 
+// Default retry policy: every API call is an idempotent GET, so the
+// client retries transient failures (connection errors, 5xx, 429) a few
+// times with capped, jittered exponential backoff before giving up.
+const (
+	// DefaultRetries is the number of re-attempts after the first try.
+	DefaultRetries = 2
+	// DefaultBackoff is the first backoff interval; each retry doubles it.
+	DefaultBackoff = 25 * time.Millisecond
+	// DefaultBackoffCap bounds the grown backoff interval.
+	DefaultBackoffCap = 250 * time.Millisecond
+)
+
 // Client is a typed client for the locator API, used by remote searchers
-// for the first phase of the two-phase search.
+// for the first phase of the two-phase search and by the gateway to reach
+// shard nodes.
 type Client struct {
 	base string
 	http *http.Client
+
+	retries    int
+	backoff    time.Duration
+	backoffCap time.Duration
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRetries sets the number of retry attempts after a transient
+// failure (0 disables retrying).
+func WithRetries(n int) ClientOption {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithBackoff sets the initial and maximum backoff between retries.
+func WithBackoff(initial, cap time.Duration) ClientOption {
+	return func(c *Client) { c.backoff, c.backoffCap = initial, cap }
 }
 
 // NewClient returns a client for the service at base URL (e.g.
 // "http://127.0.0.1:8080"). httpClient may be nil for a default client
 // with DefaultTimeout; per-call deadlines tighter than that come from the
 // caller's context.
-func NewClient(base string, httpClient *http.Client) *Client {
+func NewClient(base string, httpClient *http.Client, opts ...ClientOption) *Client {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: DefaultTimeout}
 	}
-	return &Client{base: base, http: httpClient}
+	c := &Client{
+		base:       base,
+		http:       httpClient,
+		retries:    DefaultRetries,
+		backoff:    DefaultBackoff,
+		backoffCap: DefaultBackoffCap,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // ErrOwnerNotFound reports a 404 from /v1/query.
 var ErrOwnerNotFound = errors.New("httpapi: owner not found")
 
+// retryableStatus reports whether a response code marks a transient
+// server-side condition worth retrying on an idempotent GET.
+func retryableStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
+
 // get issues a context-bound GET and returns the response. When ctx
 // carries an active trace span, the request is stamped with the
 // propagation headers so a traced server joins the caller's trace.
+//
+// Transient failures — connection errors, 5xx, 429 — are retried up to
+// the configured count with capped exponential backoff and full jitter.
+// Context cancellation is honored everywhere: it aborts the in-flight
+// request, is never itself retried, and cuts backoff sleeps short.
 func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
@@ -299,7 +411,47 @@ func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 		req.Header.Set(TraceIDHeader, sp.TraceID().String())
 		req.Header.Set(ParentSpanHeader, sp.ID().String())
 	}
-	return c.http.Do(req)
+	backoff := c.backoff
+	for attempt := 0; ; attempt++ {
+		resp, err := c.http.Do(req)
+		switch {
+		case err == nil && !retryableStatus(resp.StatusCode):
+			return resp, nil
+		case attempt >= c.retries:
+			return resp, err // whatever the last attempt produced
+		case err != nil && ctx.Err() != nil:
+			// The caller gave up; a retry would only mask that.
+			return nil, err
+		}
+		if err == nil {
+			// Retrying: release the connection of the failed attempt.
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		}
+		if err := sleepJittered(ctx, backoff); err != nil {
+			return nil, err
+		}
+		if backoff *= 2; backoff > c.backoffCap {
+			backoff = c.backoffCap
+		}
+	}
+}
+
+// sleepJittered sleeps a uniformly random duration in [d/2, d), returning
+// early with the context error on cancellation.
+func sleepJittered(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	jittered := d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+	timer := time.NewTimer(jittered)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }
 
 // Query runs QueryPPI remotely. The context bounds the round-trip
@@ -324,6 +476,33 @@ func (c *Client) Query(ctx context.Context, owner string) ([]int, error) {
 		return nil, fmt.Errorf("httpapi: decode query response: %w", err)
 	}
 	return qr.Providers, nil
+}
+
+// Base returns the base URL the client targets.
+func (c *Client) Base() string { return c.base }
+
+// Search runs a remote substring search over the owner labels. limit <= 0
+// leaves the cap to the server.
+func (c *Client) Search(ctx context.Context, q string, limit int) ([]index.Match, error) {
+	path := "/v1/search?q=" + url.QueryEscape(q)
+	if limit > 0 {
+		path += "&limit=" + strconv.Itoa(limit)
+	}
+	resp, err := c.get(ctx, path)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: search: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("httpapi: search status %d: %s", resp.StatusCode, e.Error)
+	}
+	var sr SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("httpapi: decode search response: %w", err)
+	}
+	return sr.Results, nil
 }
 
 // Stats fetches the service's load counters.

@@ -1,0 +1,103 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/index"
+)
+
+func TestSearchEndpoint(t *testing.T) {
+	_, client := testService(t)
+	all, err := client.Search(context.Background(), "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all[0].Owner != "alice" || all[1].Owner != "bob owner" {
+		t.Fatalf("Search(\"\") = %+v", all)
+	}
+	if len(all[0].Providers) != 2 {
+		t.Fatalf("alice providers = %v", all[0].Providers)
+	}
+
+	bob, err := client.Search(context.Background(), "bob", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bob) != 1 || bob[0].Owner != "bob owner" {
+		t.Fatalf("Search(bob) = %+v", bob)
+	}
+
+	limited, err := client.Search(context.Background(), "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 1 {
+		t.Fatalf("Search limit 1 = %+v", limited)
+	}
+
+	none, err := client.Search(context.Background(), "zzz", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("Search(zzz) = %+v", none)
+	}
+}
+
+func TestSearchBadLimit(t *testing.T) {
+	ts, _ := testService(t)
+	resp, err := http.Get(ts.URL + "/v1/search?limit=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit status %d", resp.StatusCode)
+	}
+}
+
+func TestHealthzReportsShard(t *testing.T) {
+	m := bitmat.MustNew(4, 1)
+	srv, err := index.NewServer(m, []string{"alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SetShard(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHandler(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	client := NewClient(ts.URL, ts.Client())
+	hz, err := client.Healthz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hz.Shard == nil || hz.Shard.ID != 2 || hz.Shard.Of != 5 {
+		t.Fatalf("healthz shard = %+v, want 2/5", hz.Shard)
+	}
+
+	// Wire shape: the field is absent entirely for an unsharded index.
+	_, full := testService(t)
+	raw, err := http.Get(full.Base() + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Body.Close()
+	var loose map[string]any
+	if err := json.NewDecoder(raw.Body).Decode(&loose); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := loose["shard"]; present {
+		t.Fatal("unsharded healthz carries a shard field")
+	}
+}

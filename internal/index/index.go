@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/bitmat"
@@ -25,6 +26,11 @@ type Server struct {
 	published *bitmat.Matrix
 	names     []string
 	byName    map[string]int
+
+	// shard/shards identify this server as one column shard of a larger
+	// index (0 ≤ shard < shards); shards == 0 means unsharded.
+	shard  int
+	shards int
 
 	queries atomic.Uint64
 	fanout  atomic.Uint64 // cumulative result-list length (search cost)
@@ -85,6 +91,31 @@ func NewServer(published *bitmat.Matrix, names []string) (*Server, error) {
 	return &Server{published: published.Clone(), names: append([]string(nil), names...), byName: byName}, nil
 }
 
+// SetShard marks the server as column shard id of a set of `of` shards.
+// Shard identity travels with snapshots (WriteTo/Read) so a node serving
+// a shard file knows — and reports — which slice of the index it holds.
+func (s *Server) SetShard(id, of int) error {
+	if of < 1 || id < 0 || id >= of {
+		return fmt.Errorf("index: bad shard %d/%d", id, of)
+	}
+	s.shard, s.shards = id, of
+	return nil
+}
+
+// ShardInfo returns the server's shard identity. sharded is false (and
+// id/of are 0) for a full, unsharded index.
+func (s *Server) ShardInfo() (id, of int, sharded bool) {
+	return s.shard, s.shards, s.shards > 0
+}
+
+// PublishedMatrix returns a copy of M'. The matrix is public by
+// construction — it is exactly what the untrusted host serves — so
+// exposing it leaks nothing; the shard partitioner uses it to split
+// columns.
+func (s *Server) PublishedMatrix() *bitmat.Matrix {
+	return s.published.Clone()
+}
+
 // Providers returns the provider count m.
 func (s *Server) Providers() int { return s.published.Rows() }
 
@@ -123,6 +154,40 @@ func (s *Server) QueryCtx(ctx context.Context, owner string) ([]int, error) {
 	sp.SetInt("fanout", len(result))
 	sp.End()
 	return result, nil
+}
+
+// Match is one owner surfaced by a substring search.
+type Match struct {
+	// Owner is the identity label.
+	Owner string `json:"owner"`
+	// Providers is the QueryPPI result for the owner, noise included.
+	Providers []int `json:"providers"`
+}
+
+// Search returns up to limit owners whose label contains substr (all
+// owners for substr == ""), each with its QueryPPI provider list, in
+// column order. limit <= 0 means no limit. Like Query, this exposes only
+// published state: labels and M' columns. When ctx carries a trace span
+// an "index.search" child span records the match count.
+func (s *Server) Search(ctx context.Context, substr string, limit int) []Match {
+	_, sp := trace.StartChild(ctx, "index.search")
+	var out []Match
+	for j, name := range s.names {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		if substr != "" && !strings.Contains(name, substr) {
+			continue
+		}
+		providers := s.QueryColumn(j)
+		if providers == nil {
+			providers = []int{}
+		}
+		out = append(out, Match{Owner: name, Providers: providers})
+	}
+	sp.SetInt("matches", len(out))
+	sp.End()
+	return out
 }
 
 // QueryColumn is Query by column number.

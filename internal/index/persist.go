@@ -1,12 +1,143 @@
 package index
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/bitmat"
 )
+
+// Snapshot framing. Every on-disk artifact of the serving tier — full
+// index snapshots, column-shard snapshots, shard-set manifests — shares
+// one self-describing frame so a loader can reject truncated, corrupted
+// or mismatched files with a precise error instead of a gob decode panic
+// deep inside the payload:
+//
+//	magic   [4]byte  "EPPI"
+//	version uint16   big-endian format version (FrameVersion)
+//	kind    uint8    payload discriminator (FrameKind)
+//	length  uint64   big-endian payload length in bytes
+//	crc32   uint32   big-endian IEEE CRC-32 of the payload
+//	payload [length]byte
+//
+// The checksum covers only the payload: a header corruption shows up as
+// bad magic / unknown version / absurd length, a payload corruption as a
+// checksum mismatch, and a short file as ErrTruncated.
+
+// FrameVersion is the current snapshot format version.
+const FrameVersion uint16 = 1
+
+// frameMagic opens every framed artifact.
+var frameMagic = [4]byte{'E', 'P', 'P', 'I'}
+
+// FrameKind discriminates the payload carried by a frame.
+type FrameKind uint8
+
+// Frame kinds.
+const (
+	// FrameSnapshot is a gob-encoded Snapshot (a full or shard index).
+	FrameSnapshot FrameKind = 1
+	// FrameManifest is a gob-encoded shard-set manifest
+	// (internal/shard.Manifest).
+	FrameManifest FrameKind = 2
+)
+
+// String names the kind for error messages.
+func (k FrameKind) String() string {
+	switch k {
+	case FrameSnapshot:
+		return "snapshot"
+	case FrameManifest:
+		return "manifest"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Framing errors. All are wrapped with file-level context by callers;
+// match with errors.Is.
+var (
+	// ErrBadMagic reports input that is not a framed ε-PPI artifact.
+	ErrBadMagic = errors.New("index: not an ε-PPI snapshot (bad magic)")
+	// ErrVersion reports a frame written by an unknown format version.
+	ErrVersion = errors.New("index: unsupported snapshot version")
+	// ErrTruncated reports a frame shorter than its header promises.
+	ErrTruncated = errors.New("index: truncated snapshot")
+	// ErrChecksum reports a payload whose CRC-32 does not match the header.
+	ErrChecksum = errors.New("index: snapshot checksum mismatch (corrupted payload)")
+	// ErrKind reports a frame of the wrong kind (e.g. a manifest where a
+	// snapshot was expected).
+	ErrKind = errors.New("index: unexpected snapshot kind")
+)
+
+// frameHeaderLen is the fixed byte length of the frame header.
+const frameHeaderLen = 4 + 2 + 1 + 8 + 4
+
+// maxFramePayload bounds the payload length a reader will allocate for.
+// Corrupted headers must not turn into multi-gigabyte allocations; the
+// bound is far above any realistic index (a 1M×10K matrix is ~1.2 GB).
+const maxFramePayload = 1 << 34
+
+// WriteFrame writes one framed payload and returns the bytes written.
+func WriteFrame(w io.Writer, kind FrameKind, payload []byte) (int64, error) {
+	var hdr [frameHeaderLen]byte
+	copy(hdr[0:4], frameMagic[:])
+	binary.BigEndian.PutUint16(hdr[4:6], FrameVersion)
+	hdr[6] = byte(kind)
+	binary.BigEndian.PutUint64(hdr[7:15], uint64(len(payload)))
+	binary.BigEndian.PutUint32(hdr[15:19], crc32.ChecksumIEEE(payload))
+	n, err := w.Write(hdr[:])
+	if err != nil {
+		return int64(n), err
+	}
+	m, err := w.Write(payload)
+	return int64(n) + int64(m), err
+}
+
+// ReadFrame reads one framed payload, verifying magic, version, kind and
+// checksum. Truncated input yields ErrTruncated; a checksum mismatch
+// yields ErrChecksum. want == 0 accepts any kind; the actual kind is
+// returned either way.
+func ReadFrame(r io.Reader, want FrameKind) (FrameKind, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("%w: %d-byte header incomplete", ErrTruncated, frameHeaderLen)
+		}
+		return 0, nil, err
+	}
+	if !bytes.Equal(hdr[0:4], frameMagic[:]) {
+		return 0, nil, ErrBadMagic
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != FrameVersion {
+		return 0, nil, fmt.Errorf("%w: file has v%d, this build reads v%d", ErrVersion, v, FrameVersion)
+	}
+	kind := FrameKind(hdr[6])
+	if want != 0 && kind != want {
+		return kind, nil, fmt.Errorf("%w: have %v, want %v", ErrKind, kind, want)
+	}
+	length := binary.BigEndian.Uint64(hdr[7:15])
+	if length > maxFramePayload {
+		return kind, nil, fmt.Errorf("%w: header declares absurd payload length %d", ErrChecksum, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return kind, nil, fmt.Errorf("%w: payload shorter than declared %d bytes", ErrTruncated, length)
+		}
+		return kind, nil, err
+	}
+	wantSum := binary.BigEndian.Uint32(hdr[15:19])
+	if got := crc32.ChecksumIEEE(payload); got != wantSum {
+		return kind, nil, fmt.Errorf("%w: crc32 %08x, header says %08x", ErrChecksum, got, wantSum)
+	}
+	return kind, payload, nil
+}
 
 // Snapshot is the serializable form of a PPI server: the published matrix
 // plus the identity labels. It deliberately contains nothing else — the
@@ -17,25 +148,55 @@ type Snapshot struct {
 	Matrix []byte
 	// Names are the identity labels in column order.
 	Names []string
+	// Shard and Shards identify a column shard of a larger index
+	// (0 ≤ Shard < Shards). Both zero for an unsharded index.
+	Shard  int
+	Shards int
 }
 
-// WriteTo serializes the server state (gob-framed Snapshot).
+// WriteTo serializes the server state: a checksummed, versioned frame
+// around the gob-encoded Snapshot.
 func (s *Server) WriteTo(w io.Writer) (int64, error) {
 	raw, err := s.published.MarshalBinary()
 	if err != nil {
 		return 0, fmt.Errorf("index: encode matrix: %w", err)
 	}
-	cw := &countingWriter{w: w}
-	enc := gob.NewEncoder(cw)
-	if err := enc.Encode(Snapshot{Matrix: raw, Names: s.names}); err != nil {
-		return cw.n, fmt.Errorf("index: encode snapshot: %w", err)
+	var buf bytes.Buffer
+	snap := Snapshot{Matrix: raw, Names: s.names, Shard: s.shard, Shards: s.shards}
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return 0, fmt.Errorf("index: encode snapshot: %w", err)
 	}
-	return cw.n, nil
+	return WriteFrame(w, FrameSnapshot, buf.Bytes())
 }
 
-// Read deserializes a server previously written with WriteTo. Query
-// statistics start fresh.
+// Read deserializes a server previously written with WriteTo, verifying
+// the frame checksum first. Query statistics start fresh. Pre-framing
+// snapshots (plain gob, no header) are still accepted for compatibility
+// with indexes exported before the frame format existed.
 func Read(r io.Reader) (*Server, error) {
+	// Peek the magic: legacy snapshots start straight into the gob stream.
+	var head [4]byte
+	n, err := io.ReadFull(r, head[:])
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		// Shorter than the magic: valid in neither format.
+		return nil, fmt.Errorf("%w: %d-byte input", ErrTruncated, n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rest := io.MultiReader(bytes.NewReader(head[:n]), r)
+	if bytes.Equal(head[:], frameMagic[:]) {
+		_, payload, err := ReadFrame(rest, FrameSnapshot)
+		if err != nil {
+			return nil, err
+		}
+		return decodeSnapshot(bytes.NewReader(payload))
+	}
+	return decodeSnapshot(rest)
+}
+
+// decodeSnapshot rebuilds a server from a gob-encoded Snapshot stream.
+func decodeSnapshot(r io.Reader) (*Server, error) {
 	var snap Snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("index: decode snapshot: %w", err)
@@ -44,16 +205,14 @@ func Read(r io.Reader) (*Server, error) {
 	if err := mat.UnmarshalBinary(snap.Matrix); err != nil {
 		return nil, fmt.Errorf("index: decode matrix: %w", err)
 	}
-	return NewServer(&mat, snap.Names)
-}
-
-type countingWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (c *countingWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
+	srv, err := NewServer(&mat, snap.Names)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Shards > 0 {
+		if err := srv.SetShard(snap.Shard, snap.Shards); err != nil {
+			return nil, err
+		}
+	}
+	return srv, nil
 }

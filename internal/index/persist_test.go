@@ -2,6 +2,9 @@ package index
 
 import (
 	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -47,5 +50,128 @@ func TestReadRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Read(strings.NewReader("")); err == nil {
 		t.Fatal("empty input accepted")
+	}
+}
+
+// encode returns a framed snapshot of the sample server.
+func encode(t *testing.T, s *Server) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadRejectsCorruptedPayload(t *testing.T) {
+	raw := encode(t, sampleServer(t))
+	// Flip one bit in the payload (past the 19-byte header): the CRC must
+	// catch it with a checksum error, not a gob panic or silent garbage.
+	for _, off := range []int{frameHeaderLen, frameHeaderLen + 7, len(raw) - 1} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x40
+		_, err := Read(bytes.NewReader(bad))
+		if !errors.Is(err, ErrChecksum) {
+			t.Errorf("corruption at %d: err = %v, want ErrChecksum", off, err)
+		}
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	raw := encode(t, sampleServer(t))
+	for _, n := range []int{1, frameHeaderLen - 1, frameHeaderLen, len(raw) - 1} {
+		_, err := Read(bytes.NewReader(raw[:n]))
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("truncation at %d bytes: err = %v, want ErrTruncated", n, err)
+		}
+	}
+}
+
+func TestReadRejectsVersionAndKind(t *testing.T) {
+	raw := encode(t, sampleServer(t))
+	future := append([]byte(nil), raw...)
+	future[5] = 99 // version low byte
+	if _, err := Read(bytes.NewReader(future)); !errors.Is(err, ErrVersion) {
+		t.Errorf("future version: err = %v, want ErrVersion", err)
+	}
+
+	var manifest bytes.Buffer
+	if _, err := WriteFrame(&manifest, FrameManifest, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(manifest.Bytes())); !errors.Is(err, ErrKind) {
+		t.Errorf("manifest-as-snapshot: err = %v, want ErrKind", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("the payload")
+	n, err := WriteFrame(&buf, FrameManifest, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteFrame reported %d bytes, wrote %d", n, buf.Len())
+	}
+	kind, got, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != FrameManifest || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip = (%v, %q)", kind, got)
+	}
+}
+
+func TestReadLegacyUnframedSnapshot(t *testing.T) {
+	// Indexes exported before the frame format are plain gob streams; they
+	// must still load.
+	s := sampleServer(t)
+	raw, err := s.published.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacy bytes.Buffer
+	if err := gob.NewEncoder(&legacy).Encode(Snapshot{Matrix: raw, Names: s.names}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&legacy)
+	if err != nil {
+		t.Fatalf("legacy snapshot rejected: %v", err)
+	}
+	if back.Owners() != 3 || back.Providers() != 4 {
+		t.Fatalf("legacy dims %dx%d", back.Providers(), back.Owners())
+	}
+}
+
+func TestPersistShardInfo(t *testing.T) {
+	s := sampleServer(t)
+	if err := s.SetShard(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(encode(t, s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, of, sharded := back.ShardInfo()
+	if !sharded || id != 1 || of != 3 {
+		t.Fatalf("shard info = (%d, %d, %v), want (1, 3, true)", id, of, sharded)
+	}
+}
+
+func TestSearch(t *testing.T) {
+	s := sampleServer(t)
+	all := s.Search(context.Background(), "", 0)
+	if len(all) != 3 || all[0].Owner != "alice" || len(all[0].Providers) != 2 {
+		t.Fatalf("Search(\"\") = %+v", all)
+	}
+	if got := s.Search(context.Background(), "bob", 0); len(got) != 1 || got[0].Owner != "bob" {
+		t.Fatalf("Search(bob) = %+v", got)
+	}
+	if got := s.Search(context.Background(), "", 2); len(got) != 2 {
+		t.Fatalf("Search limit 2 = %+v", got)
+	}
+	if got := s.Search(context.Background(), "zzz", 0); len(got) != 0 {
+		t.Fatalf("Search(zzz) = %+v", got)
 	}
 }

@@ -1,0 +1,60 @@
+package searcher
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// TestSearchCtxConcurrent hammers one Searcher from many goroutines —
+// instrumented and traced, the worst case for shared state — so the
+// -race job proves SearchCtx is safe for concurrent use (the gateway and
+// any federated client call it that way).
+func TestSearchCtxConcurrent(t *testing.T) {
+	server, providers := buildSystem(t)
+	for _, p := range providers {
+		p.Grant("dr")
+	}
+	s, err := New("dr", server, providers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	s.Instrument(reg)
+	tracer := trace.New(32)
+
+	const goroutines, iterations = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				ctx, sp := tracer.StartRoot(context.Background(), "test.search")
+				res, err := s.SearchCtx(ctx, "alice")
+				sp.End()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Contacted != 3 || res.TruePositives != 2 || res.FalsePositives != 1 {
+					errs <- fmt.Errorf("result = %+v", res)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent SearchCtx: %v", err)
+	}
+	if got := reg.Counter("eppi_searcher_searches_total", "").Value(); got != goroutines*iterations {
+		t.Fatalf("searches counter = %d, want %d", got, goroutines*iterations)
+	}
+}

@@ -1,0 +1,167 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bitmat"
+	"repro/internal/index"
+)
+
+// ManifestName is the manifest's file name inside a shard-set directory.
+const ManifestName = "manifest.eppi"
+
+// Manifest describes one shard set: the partition parameters plus a
+// checksum of every member file. It is persisted inside an index frame
+// (FrameManifest), so the manifest itself is versioned and checksummed
+// exactly like the snapshots it describes.
+type Manifest struct {
+	// Shards is the shard count k of the set.
+	Shards int
+	// Providers and Owners are the dimensions of the full index the set
+	// was partitioned from.
+	Providers int
+	Owners    int
+	// Files describes each shard snapshot, indexed by shard id.
+	Files []ShardFile
+}
+
+// ShardFile is one member snapshot of a shard set.
+type ShardFile struct {
+	// Name is the snapshot file name, relative to the manifest.
+	Name string
+	// Owners is the identity count the shard holds.
+	Owners int
+	// CRC32 is the IEEE checksum of the whole snapshot file.
+	CRC32 uint32
+	// Size is the snapshot file length in bytes.
+	Size int64
+}
+
+// FileName returns the canonical snapshot name for shard k.
+func FileName(k int) string { return fmt.Sprintf("shard-%03d.idx", k) }
+
+// WriteSet partitions a published index into `of` shards and writes the
+// whole set under dir: shard-000.idx … shard-NNN.idx plus ManifestName.
+// It returns the manifest it wrote.
+func WriteSet(dir string, published *bitmat.Matrix, names []string, of int) (*Manifest, error) {
+	shards, err := Partition(published, names, of)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	man := &Manifest{
+		Shards:    of,
+		Providers: published.Rows(),
+		Owners:    len(names),
+		Files:     make([]ShardFile, of),
+	}
+	for k, srv := range shards {
+		var buf bytes.Buffer
+		if _, err := srv.WriteTo(&buf); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", k, err)
+		}
+		name := FileName(k)
+		if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", k, err)
+		}
+		man.Files[k] = ShardFile{
+			Name:   name,
+			Owners: srv.Owners(),
+			CRC32:  crc32.ChecksumIEEE(buf.Bytes()),
+			Size:   int64(buf.Len()),
+		}
+	}
+	return man, man.write(dir)
+}
+
+// write persists the manifest under dir.
+func (m *Manifest) write(dir string) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(m); err != nil {
+		return fmt.Errorf("shard: encode manifest: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	if _, err := index.WriteFrame(f, index.FrameManifest, payload.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("shard: write manifest: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadManifest loads and checksum-verifies the manifest in dir.
+func ReadManifest(dir string) (*Manifest, error) {
+	f, err := os.Open(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	defer f.Close()
+	_, payload, err := index.ReadFrame(f, index.FrameManifest)
+	if err != nil {
+		return nil, fmt.Errorf("shard: manifest %s: %w", ManifestName, err)
+	}
+	var m Manifest
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("shard: decode manifest: %w", err)
+	}
+	if m.Shards < 1 || len(m.Files) != m.Shards {
+		return nil, fmt.Errorf("shard: manifest inconsistent: %d shards, %d files", m.Shards, len(m.Files))
+	}
+	return &m, nil
+}
+
+// Verify checks every member file of the set against the manifest:
+// presence, size and CRC-32. It reports the first mismatch.
+func (m *Manifest) Verify(dir string) error {
+	for k, sf := range m.Files {
+		raw, err := os.ReadFile(filepath.Join(dir, sf.Name))
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", k, err)
+		}
+		if int64(len(raw)) != sf.Size {
+			return fmt.Errorf("shard %d (%s): %d bytes, manifest says %d: %w",
+				k, sf.Name, len(raw), sf.Size, index.ErrTruncated)
+		}
+		if got := crc32.ChecksumIEEE(raw); got != sf.CRC32 {
+			return fmt.Errorf("shard %d (%s): crc32 %08x, manifest says %08x: %w",
+				k, sf.Name, got, sf.CRC32, index.ErrChecksum)
+		}
+	}
+	return nil
+}
+
+// LoadShard opens, verifies and loads member k of the set in dir,
+// checking that the snapshot's embedded shard identity matches the
+// manifest slot.
+func (m *Manifest) LoadShard(dir string, k int) (*index.Server, error) {
+	if k < 0 || k >= m.Shards {
+		return nil, fmt.Errorf("shard: id %d out of range 0..%d", k, m.Shards-1)
+	}
+	sf := m.Files[k]
+	raw, err := os.ReadFile(filepath.Join(dir, sf.Name))
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", k, err)
+	}
+	if got := crc32.ChecksumIEEE(raw); got != sf.CRC32 {
+		return nil, fmt.Errorf("shard %d (%s): crc32 %08x, manifest says %08x: %w",
+			k, sf.Name, got, sf.CRC32, index.ErrChecksum)
+	}
+	srv, err := index.Read(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", k, err)
+	}
+	id, of, sharded := srv.ShardInfo()
+	if !sharded || id != k || of != m.Shards {
+		return nil, fmt.Errorf("shard: %s claims shard %d/%d, manifest slot is %d/%d", sf.Name, id, of, k, m.Shards)
+	}
+	return srv, nil
+}

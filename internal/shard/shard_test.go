@@ -1,0 +1,254 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/mathx"
+	"repro/internal/workload"
+)
+
+// buildIndex constructs a real published index for partition tests.
+func buildIndex(t *testing.T, providers, owners int) (*bitmat.Matrix, []string) {
+	t.Helper()
+	d, err := workload.GenerateZipf(workload.ZipfConfig{
+		Providers: providers, Owners: owners, Exponent: 1.1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Construct(d.Matrix, d.Eps, core.Config{
+		Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Published, d.Names
+}
+
+func TestForStableAndInRange(t *testing.T) {
+	for of := 1; of <= 7; of++ {
+		for i := 0; i < 100; i++ {
+			name := fmt.Sprintf("owner://site-%d.example.org", i)
+			k := For(name, of)
+			if k < 0 || k >= of {
+				t.Fatalf("For(%q, %d) = %d out of range", name, of, k)
+			}
+			if again := For(name, of); again != k {
+				t.Fatalf("For not stable: %d then %d", k, again)
+			}
+		}
+	}
+}
+
+func TestPartitionCoversEveryOwnerExactlyOnce(t *testing.T) {
+	published, names := buildIndex(t, 30, 40)
+	full, err := index.NewServer(published, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const of = 3
+	shards, err := Partition(published, names, of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	totalOwners := 0
+	for k, srv := range shards {
+		id, n, sharded := srv.ShardInfo()
+		if !sharded || id != k || n != of {
+			t.Fatalf("shard %d reports identity (%d, %d, %v)", k, id, n, sharded)
+		}
+		if srv.Providers() != full.Providers() {
+			t.Fatalf("shard %d has %d provider rows, want %d", k, srv.Providers(), full.Providers())
+		}
+		totalOwners += srv.Owners()
+		for _, name := range srv.Names() {
+			seen[name]++
+			if For(name, of) != k {
+				t.Fatalf("owner %q landed on shard %d, For says %d", name, k, For(name, of))
+			}
+		}
+	}
+	if totalOwners != len(names) {
+		t.Fatalf("shards hold %d owners, index has %d", totalOwners, len(names))
+	}
+	for _, name := range names {
+		if seen[name] != 1 {
+			t.Fatalf("owner %q appears in %d shards", name, seen[name])
+		}
+	}
+}
+
+func TestPartitionAnswersIdenticalToFullIndex(t *testing.T) {
+	published, names := buildIndex(t, 30, 40)
+	full, err := index.NewServer(published, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := Partition(published, names, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		want, err := full.Query(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := shards[For(name, 4)].Query(name)
+		if err != nil {
+			t.Fatalf("shard query %q: %v", name, err)
+		}
+		if !equalInts(got, want) {
+			t.Fatalf("Query(%q): shard %v, full %v", name, got, want)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Ints(a)
+	sort.Ints(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPartitionValidation(t *testing.T) {
+	m := bitmat.MustNew(2, 2)
+	if _, err := Partition(nil, nil, 2); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := Partition(m, []string{"a", "b"}, 0); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := Partition(m, []string{"a"}, 2); err == nil {
+		t.Error("name/column mismatch accepted")
+	}
+}
+
+func TestPartitionServerRejectsSharded(t *testing.T) {
+	published, names := buildIndex(t, 10, 12)
+	shards, err := Partition(published, names, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PartitionServer(shards[0], 2); err == nil {
+		t.Error("re-partitioning a shard accepted")
+	}
+}
+
+func TestWriteSetRoundTrip(t *testing.T) {
+	published, names := buildIndex(t, 20, 25)
+	dir := t.TempDir()
+	const of = 3
+	man, err := WriteSet(dir, published, names, of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Shards != of || man.Providers != 20 || man.Owners != 25 {
+		t.Fatalf("manifest = %+v", man)
+	}
+
+	back, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Verify(dir); err != nil {
+		t.Fatalf("fresh set fails verify: %v", err)
+	}
+	owners := 0
+	for k := 0; k < of; k++ {
+		srv, err := back.LoadShard(dir, k)
+		if err != nil {
+			t.Fatalf("load shard %d: %v", k, err)
+		}
+		owners += srv.Owners()
+		if srv.Owners() != back.Files[k].Owners {
+			t.Fatalf("shard %d owners %d, manifest says %d", k, srv.Owners(), back.Files[k].Owners)
+		}
+	}
+	if owners != 25 {
+		t.Fatalf("loaded shards hold %d owners, want 25", owners)
+	}
+}
+
+func TestManifestDetectsCorruptedShard(t *testing.T) {
+	published, names := buildIndex(t, 10, 12)
+	dir := t.TempDir()
+	man, err := WriteSet(dir, published, names, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, man.Files[1].Name)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := man.Verify(dir); !errors.Is(err, index.ErrChecksum) {
+		t.Fatalf("Verify on corrupted shard = %v, want ErrChecksum", err)
+	}
+	if _, err := man.LoadShard(dir, 1); !errors.Is(err, index.ErrChecksum) {
+		t.Fatalf("LoadShard on corrupted shard = %v, want ErrChecksum", err)
+	}
+	// The untouched shard still loads.
+	if _, err := man.LoadShard(dir, 0); err != nil {
+		t.Fatalf("intact shard rejected: %v", err)
+	}
+}
+
+func TestManifestDetectsTruncatedShard(t *testing.T) {
+	published, names := buildIndex(t, 10, 12)
+	dir := t.TempDir()
+	man, err := WriteSet(dir, published, names, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, man.Files[0].Name)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := man.Verify(dir); !errors.Is(err, index.ErrTruncated) {
+		t.Fatalf("Verify on truncated shard = %v, want ErrTruncated", err)
+	}
+}
+
+func TestReadManifestRejectsCorruption(t *testing.T) {
+	published, names := buildIndex(t, 10, 12)
+	dir := t.TempDir()
+	if _, err := WriteSet(dir, published, names, 2); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, ManifestName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x80
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); !errors.Is(err, index.ErrChecksum) {
+		t.Fatalf("corrupted manifest = %v, want ErrChecksum", err)
+	}
+}

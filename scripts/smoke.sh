@@ -3,18 +3,26 @@
 # the observability surface works end to end — /v1/healthz answers,
 # /v1/query returns providers, /v1/metrics exposes the runtime gauges,
 # and /v1/traces serves a non-empty Chrome trace whose root span is the
-# query request. Used by CI; runnable locally via `make smoke`.
+# query request. Then boot the distributed layer — two eppi-serve shard
+# nodes plus eppi-gateway — and assert a routed lookup answers through
+# the gateway. Used by CI; runnable locally via `make smoke`.
 set -eu
 
 ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
 BASE="http://$ADDR"
 BIN="${SMOKE_BIN:-./eppi-serve-smoke}"
+GW_BIN="${SMOKE_GW_BIN:-./eppi-gateway-smoke}"
+SHARD0_ADDR="${SMOKE_SHARD0_ADDR:-127.0.0.1:18081}"
+SHARD1_ADDR="${SMOKE_SHARD1_ADDR:-127.0.0.1:18082}"
+GW_ADDR="${SMOKE_GW_ADDR:-127.0.0.1:18090}"
 
 go build -o "$BIN" ./cmd/eppi-serve
+go build -o "$GW_BIN" ./cmd/eppi-gateway
 
 "$BIN" -addr "$ADDR" -providers 20 -owners 8 -log-format json &
 SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$BIN"' EXIT
+PIDS="$SERVER_PID"
+trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -f "$BIN" "$GW_BIN"' EXIT
 
 # Wait for the server to come up (up to ~5s).
 i=0
@@ -58,6 +66,69 @@ echo "$TRACES_OUT" | grep -q '"http.query"' || {
 }
 echo "smoke: traces ok"
 
-kill "$SERVER_PID"
-wait "$SERVER_PID" 2>/dev/null || true
+# --- Distributed layer: 2 shard nodes + gateway -------------------------
+# Construction is deterministic under -seed, so two independent processes
+# serving -shard 0/2 and -shard 1/2 of the same demo parameters hold
+# complementary slices of the same index.
+"$BIN" -addr "$SHARD0_ADDR" -providers 20 -owners 8 -shard 0/2 -log-format json &
+PIDS="$PIDS $!"
+"$BIN" -addr "$SHARD1_ADDR" -providers 20 -owners 8 -shard 1/2 -log-format json &
+PIDS="$PIDS $!"
+
+for a in "$SHARD0_ADDR" "$SHARD1_ADDR"; do
+  i=0
+  until curl -sf "http://$a/v1/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+      echo "smoke: shard node did not come up on $a" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+done
+
+# Shard nodes report their shard identity.
+curl -sf "http://$SHARD0_ADDR/v1/healthz" | grep -q '"shard"' || {
+  echo "smoke: shard node healthz missing shard identity" >&2
+  exit 1
+}
+echo "smoke: shard nodes ok"
+
+"$GW_BIN" -addr "$GW_ADDR" -shards "http://$SHARD0_ADDR;http://$SHARD1_ADDR" -log-format json &
+PIDS="$PIDS $!"
+i=0
+until curl -sf "http://$GW_ADDR/v1/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "smoke: gateway did not come up on $GW_ADDR" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# A routed lookup through the gateway answers with the same providers the
+# single-node server gave.
+GW_OUT=$(curl -sf "http://$GW_ADDR/v1/query?owner=owner%3A%2F%2Fsite-0.example.org")
+echo "$GW_OUT" | grep -q '"providers"' || {
+  echo "smoke: gateway query missing providers: $GW_OUT" >&2
+  exit 1
+}
+[ "$GW_OUT" = "$QUERY_OUT" ] || {
+  echo "smoke: gateway answer differs from single-node answer:" >&2
+  echo "  gateway:     $GW_OUT" >&2
+  echo "  single-node: $QUERY_OUT" >&2
+  exit 1
+}
+# A repeat of the same lookup is a cache hit, visible in gateway metrics.
+curl -sf "http://$GW_ADDR/v1/query?owner=owner%3A%2F%2Fsite-0.example.org" >/dev/null
+curl -sf "http://$GW_ADDR/v1/metrics" | grep -q '^eppi_gateway_cache_hits_total [1-9]' || {
+  echo "smoke: gateway cache hit not counted" >&2
+  exit 1
+}
+echo "smoke: gateway ok"
+
+for p in $PIDS; do
+  kill "$p" 2>/dev/null || true
+  wait "$p" 2>/dev/null || true
+done
 echo "smoke: all checks passed"
