@@ -10,12 +10,19 @@
 //	eppi-construct -providers 12 -owners 8 -secure -trace run.json
 //	eppi-construct -providers 100 -owners 50 -out index.eppi
 //	eppi-construct -providers 100 -owners 50 -shards 4 -out shards/
+//	eppi-construct -providers 100 -owners 50 -shards 4 -epoch-dir store/
 //
 // -out exports the constructed index as a checksummed snapshot that
 // eppi-serve -index loads. With -shards N the index is column-partitioned
 // N ways instead and -out names a directory receiving one snapshot per
 // shard plus a checksummed manifest; eppi-serve -index dir -shard k/N
 // serves one shard of it, fronted by eppi-gateway.
+//
+// -epoch-dir publishes the index into an epoch store instead: the shard
+// set is written under epochs/<n>/ and the store's CURRENT pointer is
+// atomically flipped to the new epoch, so eppi-serve -epoch-dir nodes
+// hot-swap to it without restarting. Re-running the command against the
+// same store publishes the next epoch.
 //
 // -trace records a span tree of the whole construction — β-phase,
 // SecSumShare, per-batch MPC with GMW/OT phases, mixing, publication —
@@ -31,6 +38,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/index"
 	"repro/internal/logx"
 	"repro/internal/mathx"
@@ -61,7 +69,8 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "construction worker pool size (0 = NumCPU); output is identical at any value")
 	zipf := fs.Float64("zipf", 1.1, "Zipf exponent of identity frequencies")
 	outPath := fs.String("out", "", "export the index: a snapshot file, or a shard-set directory with -shards")
-	shards := fs.Int("shards", 0, "with -out: column-partition the index into this many shards + manifest")
+	shards := fs.Int("shards", 0, "with -out or -epoch-dir: column-partition the index into this many shards + manifest")
+	epochDir := fs.String("epoch-dir", "", "publish the index as the next epoch of this epoch store (atomic CURRENT flip)")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the construction to this file")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
@@ -135,7 +144,22 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *outPath != "" {
+	if *epochDir != "" {
+		if *outPath != "" {
+			return fmt.Errorf("-epoch-dir and -out are mutually exclusive")
+		}
+		n := *shards
+		if n <= 0 {
+			n = 1
+		}
+		pub := epoch.Publisher{Root: *epochDir}
+		e, err := pub.Publish(srv.PublishedMatrix(), srv.Names(), n)
+		if err != nil {
+			return fmt.Errorf("publish epoch: %w", err)
+		}
+		logger.Info("epoch published", slog.String("dir", *epochDir),
+			slog.Uint64("epoch", e), slog.Int("shards", n))
+	} else if *outPath != "" {
 		if err := export(*outPath, *shards, srv, logger); err != nil {
 			return err
 		}

@@ -71,6 +71,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	addr := fs.String("addr", "127.0.0.1:8090", "listen address")
 	shardsSpec := fs.String("shards", "", "replica base URLs: commas between replicas, semicolons between shards")
 	cacheSize := fs.Int("cache", gateway.DefaultCacheSize, "response cache entries (negative disables)")
+	cacheTTL := fs.Duration("cache-ttl", 0, "response cache entry lifetime (0: bounded only by LRU and epoch turnover)")
 	maxInFlight := fs.Int("max-inflight", gateway.DefaultMaxInFlight, "admitted-request bound before shedding")
 	queueWait := fs.Duration("queue-wait", gateway.DefaultQueueWait, "max admission queue wait before a 503")
 	hedgeAfter := fs.Duration("hedge", 0, "fixed hedge trigger (0: adaptive p95, negative: off)")
@@ -94,6 +95,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	}
 	cfg := gateway.Config{
 		CacheSize:   *cacheSize,
+		CacheTTL:    *cacheTTL,
 		MaxInFlight: *maxInFlight,
 		QueueWait:   *queueWait,
 		HedgeAfter:  *hedgeAfter,

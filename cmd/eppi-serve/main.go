@@ -8,6 +8,18 @@
 //	eppi-serve -addr 127.0.0.1:8080 -providers 50 -owners 20   # demo index
 //	eppi-serve -addr 127.0.0.1:8081 -shard 0/2                 # demo shard node
 //	eppi-serve -addr 127.0.0.1:8081 -index shards/ -shard 0/2  # shard from manifest
+//	eppi-serve -addr 127.0.0.1:8081 -epoch-dir store/ -shard 0/2  # hot-reloading node
+//
+// With -epoch-dir the node serves out of an epoch store written by
+// eppi-construct -epoch-dir (internal/epoch): it loads the shard named by
+// the store's CURRENT pointer and then polls (-epoch-poll) for newly
+// published epochs, hot-swapping the served snapshot RCU-style — in-flight
+// queries finish on the old index version, new queries see the new one, no
+// restart. The active epoch is surfaced in /v1/healthz, /v1/metrics
+// (eppi_epoch, eppi_epoch_swaps_total), the X-Eppi-Epoch response header,
+// and epoch.reload spans. A corrupted CURRENT pointer or half-written
+// epoch directory is rejected and the node keeps serving its current
+// epoch.
 //
 // With -shard k/of the process serves only column shard k of an
 // of-way-partitioned index: identities are assigned to shards by a stable
@@ -48,10 +60,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/httpapi"
 	"repro/internal/index"
 	"repro/internal/logx"
@@ -79,6 +93,8 @@ func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("eppi-serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	indexPath := fs.String("index", "", "path to an exported index file, or a shard-set directory with -shard (empty: build a demo index)")
+	epochDir := fs.String("epoch-dir", "", "serve from an epoch store written by eppi-construct -epoch-dir, hot-swapping when a new epoch is published")
+	epochPoll := fs.Duration("epoch-poll", epoch.DefaultPollPeriod, "how often to poll the epoch store's CURRENT pointer")
 	shardSpec := fs.String("shard", "", "serve one column shard, as \"k/of\" (e.g. 0/2)")
 	providers := fs.Int("providers", 50, "demo index: number of providers")
 	owners := fs.Int("owners", 20, "demo index: number of owners")
@@ -96,8 +112,22 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 
-	srv, err := loadOrBuild(*indexPath, *shardSpec, *providers, *owners, *seed)
-	if err != nil {
+	var srv *index.Server
+	var servedEpoch uint64
+	shardID, shardOf := 0, 1
+	if *epochDir != "" {
+		if *indexPath != "" {
+			return fmt.Errorf("-epoch-dir and -index are mutually exclusive")
+		}
+		if *shardSpec != "" {
+			if shardID, shardOf, err = parseShardSpec(*shardSpec); err != nil {
+				return err
+			}
+		}
+		if srv, servedEpoch, err = epoch.Load(*epochDir, shardID, shardOf); err != nil {
+			return fmt.Errorf("epoch store %q: %w", *epochDir, err)
+		}
+	} else if srv, err = loadOrBuild(*indexPath, *shardSpec, *providers, *owners, *seed); err != nil {
 		return err
 	}
 	var reg *metrics.Registry
@@ -107,12 +137,35 @@ func run(ctx context.Context, args []string) error {
 		metrics.RegisterRuntime(reg)
 		opts = append(opts, httpapi.WithMetrics(reg))
 	}
+	var tracer *trace.Tracer
 	if *traceCap > 0 {
-		opts = append(opts, httpapi.WithTracer(trace.New(*traceCap)))
+		tracer = trace.New(*traceCap)
+		opts = append(opts, httpapi.WithTracer(tracer))
 	}
 	handler, err := httpapi.NewHandler(srv, opts...)
 	if err != nil {
 		return err
+	}
+	var watcherWG sync.WaitGroup
+	if *epochDir != "" {
+		// Hot re-publication: poll the store and swap the served snapshot
+		// RCU-style when CURRENT moves. In-flight requests finish on the
+		// old epoch; a bad new epoch is rejected and the node stays put.
+		w := &epoch.Watcher{
+			Root:   *epochDir,
+			Shard:  shardID,
+			Of:     shardOf,
+			Period: *epochPoll,
+			Logger: logger,
+			Tracer: tracer,
+			OnSwap: func(next *index.Server, n uint64) error { return handler.Swap(next) },
+		}
+		watcherWG.Add(1)
+		go func() {
+			defer watcherWG.Done()
+			w.Run(ctx, servedEpoch)
+		}()
+		defer watcherWG.Wait()
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", handler)
@@ -137,6 +190,9 @@ func run(ctx context.Context, args []string) error {
 	}
 	if id, of, sharded := srv.ShardInfo(); sharded {
 		up = append(up, slog.String("shard", fmt.Sprintf("%d/%d", id, of)))
+	}
+	if *epochDir != "" {
+		up = append(up, slog.Uint64("epoch", servedEpoch), slog.String("epoch_dir", *epochDir))
 	}
 	logger.Info("locator service up", up...)
 	return serve(ctx, listener, mux, logger, reg)

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/epoch"
 	"repro/internal/httpapi"
 	"repro/internal/index"
 	"repro/internal/shard"
@@ -43,6 +44,25 @@ func (n *Network) WriteShardSet(dir string, shards int) (*shard.Manifest, error)
 		return nil, fmt.Errorf("eppi: write shard set: %w", err)
 	}
 	return man, nil
+}
+
+// PublishEpoch exports the constructed index as the next epoch of the
+// epoch store rooted at root (internal/epoch): the shard set lands under
+// epochs/<n>/ and the store's CURRENT pointer is flipped atomically, so
+// serving nodes watching the store hot-swap to the new version without a
+// restart. Returns the epoch number published. Like WriteShardSet, only
+// public state leaves the provider network. It fails before ConstructPPI.
+func (n *Network) PublishEpoch(root string, shards int) (uint64, error) {
+	srv, err := n.serverHandle()
+	if err != nil {
+		return 0, err
+	}
+	pub := epoch.Publisher{Root: root}
+	e, err := pub.Publish(srv.PublishedMatrix(), srv.Names(), shards)
+	if err != nil {
+		return 0, fmt.Errorf("eppi: publish epoch: %w", err)
+	}
+	return e, nil
 }
 
 // HostedService is the untrusted locator service: it can answer QueryPPI

@@ -1,0 +1,203 @@
+// Package epoch manages the versioned re-publication lifecycle of a
+// served ε-PPI. The paper publishes M' once; a production locator must
+// re-publish periodically — providers churn, and the Eq. 2 noise baked in
+// at publication only guards the matrix actually being served — without
+// ever stopping the fleet.
+//
+// An epoch store is a directory:
+//
+//	<root>/
+//	  CURRENT            # text file: the active epoch number, e.g. "3\n"
+//	  epochs/
+//	    000001/          # one complete shard set per epoch
+//	      manifest.eppi
+//	      shard-000.idx …
+//	    000002/
+//	    000003/
+//
+// A Publisher writes each new shard set into a hidden temp directory,
+// renames it to epochs/<n>/ (so a half-written set is never visible under
+// its final name), then flips CURRENT via write-temp + fsync + rename —
+// the POSIX-atomic pointer swap. Readers (Watcher, Load) go the other
+// way: read CURRENT, verify the manifest and every member checksum, and
+// reject anything inconsistent — a corrupted pointer or a torn epoch
+// directory leaves the node serving its current epoch, never a broken
+// one.
+package epoch
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitmat"
+	"repro/internal/index"
+	"repro/internal/shard"
+)
+
+const (
+	// CurrentName is the pointer file naming the active epoch.
+	CurrentName = "CURRENT"
+	// EpochsDir is the subdirectory holding one shard set per epoch.
+	EpochsDir = "epochs"
+)
+
+var (
+	// ErrNoCurrent reports a store with no CURRENT pointer — nothing has
+	// been published yet.
+	ErrNoCurrent = errors.New("epoch: no CURRENT pointer (nothing published)")
+	// ErrBadCurrent reports a CURRENT pointer that does not parse as a
+	// positive epoch number — a torn write or outside interference.
+	ErrBadCurrent = errors.New("epoch: corrupted CURRENT pointer")
+)
+
+// Dir returns the shard-set directory of epoch n under root.
+func Dir(root string, n uint64) string {
+	return filepath.Join(root, EpochsDir, fmt.Sprintf("%06d", n))
+}
+
+// Current reads the active epoch number from the store's CURRENT pointer.
+func Current(root string) (uint64, error) {
+	raw, err := os.ReadFile(filepath.Join(root, CurrentName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("%w: %s", ErrNoCurrent, root)
+		}
+		return 0, fmt.Errorf("epoch: %w", err)
+	}
+	text := strings.TrimSpace(string(raw))
+	n, perr := strconv.ParseUint(text, 10, 64)
+	if perr != nil || n == 0 {
+		return 0, fmt.Errorf("%w: %q", ErrBadCurrent, text)
+	}
+	return n, nil
+}
+
+// LoadAt loads shard k of an of-way set from epoch n of the store,
+// verifying the manifest, its epoch stamp, and every member checksum
+// first — a half-written or tampered epoch directory is rejected whole.
+func LoadAt(root string, n uint64, k, of int) (*index.Server, error) {
+	dir := Dir(root, n)
+	man, err := shard.ReadManifest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("epoch %d: %w", n, err)
+	}
+	if man.Epoch != n {
+		return nil, fmt.Errorf("epoch %d: manifest claims epoch %d — misplaced shard set", n, man.Epoch)
+	}
+	if man.Shards != of {
+		return nil, fmt.Errorf("epoch %d: manifest has %d shards, want %d", n, man.Shards, of)
+	}
+	if err := man.Verify(dir); err != nil {
+		return nil, fmt.Errorf("epoch %d: %w", n, err)
+	}
+	srv, err := man.LoadShard(dir, k)
+	if err != nil {
+		return nil, fmt.Errorf("epoch %d: %w", n, err)
+	}
+	return srv, nil
+}
+
+// Load resolves CURRENT and loads shard k/of of the active epoch,
+// returning the epoch number alongside the server.
+func Load(root string, k, of int) (*index.Server, uint64, error) {
+	n, err := Current(root)
+	if err != nil {
+		return nil, 0, err
+	}
+	srv, err := LoadAt(root, n, k, of)
+	if err != nil {
+		return nil, 0, err
+	}
+	return srv, n, nil
+}
+
+// Publisher writes successive index publications into an epoch store.
+// Each Publish allocates the next epoch number, writes a complete shard
+// set for it, and atomically flips CURRENT to point at it.
+type Publisher struct {
+	// Root is the epoch store directory (created on first Publish).
+	Root string
+}
+
+// Publish writes the published index as the next epoch's shard set and
+// flips CURRENT to it. The set is assembled under a temp name and renamed
+// into place before the pointer moves, so a crash at any instant leaves
+// either the old epoch fully active or the new one — never a torn store.
+// It returns the epoch number it published.
+func (p *Publisher) Publish(published *bitmat.Matrix, names []string, shards int) (uint64, error) {
+	if shards < 1 {
+		return 0, fmt.Errorf("epoch: bad shard count %d", shards)
+	}
+	next := uint64(1)
+	switch cur, err := Current(p.Root); {
+	case err == nil:
+		next = cur + 1
+	case errors.Is(err, ErrNoCurrent):
+		// Fresh store: publish epoch 1.
+	default:
+		// A corrupted pointer needs an operator, not a publisher silently
+		// restarting the numbering over live serving nodes.
+		return 0, err
+	}
+	if err := os.MkdirAll(filepath.Join(p.Root, EpochsDir), 0o755); err != nil {
+		return 0, fmt.Errorf("epoch: %w", err)
+	}
+	// Assemble under a dot-name: Dir() can never resolve to it, so a
+	// crashed half-written set is invisible to readers.
+	tmp := filepath.Join(p.Root, EpochsDir, fmt.Sprintf(".publish-%06d", next))
+	if err := os.RemoveAll(tmp); err != nil {
+		return 0, fmt.Errorf("epoch: %w", err)
+	}
+	if _, err := shard.WriteSetAt(tmp, published, names, shards, next); err != nil {
+		return 0, err
+	}
+	final := Dir(p.Root, next)
+	// A leftover from a publish that crashed after the rename but before
+	// the CURRENT flip: the pointer never moved, so replacing it is safe.
+	if err := os.RemoveAll(final); err != nil {
+		return 0, fmt.Errorf("epoch: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return 0, fmt.Errorf("epoch: %w", err)
+	}
+	if err := writeCurrent(p.Root, next); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// writeCurrent flips the CURRENT pointer: write a temp file, fsync it,
+// rename over CURRENT, fsync the directory. Readers see either the old
+// number or the new one, never a torn write.
+func writeCurrent(root string, n uint64) error {
+	tmp := filepath.Join(root, CurrentName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("epoch: %w", err)
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", n); err != nil {
+		f.Close()
+		return fmt.Errorf("epoch: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("epoch: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("epoch: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(root, CurrentName)); err != nil {
+		return fmt.Errorf("epoch: %w", err)
+	}
+	// Persist the rename itself. Some filesystems reject fsync on a
+	// directory handle; the rename is still atomic, so that is advisory.
+	if d, err := os.Open(root); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

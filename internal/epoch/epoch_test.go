@@ -1,0 +1,287 @@
+package epoch
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/mathx"
+	"repro/internal/workload"
+)
+
+// buildIndex constructs a real published index for store tests.
+func buildIndex(t *testing.T, providers, owners int, seed int64) (*bitmat.Matrix, []string) {
+	t.Helper()
+	d, err := workload.GenerateZipf(workload.ZipfConfig{
+		Providers: providers, Owners: owners, Exponent: 1.1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Construct(d.Matrix, d.Eps, core.Config{
+		Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Published, d.Names
+}
+
+func TestPublishAndLoadRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	published, names := buildIndex(t, 20, 30, 1)
+	pub := Publisher{Root: root}
+
+	if _, err := Current(root); !errors.Is(err, ErrNoCurrent) {
+		t.Fatalf("fresh store Current err = %v, want ErrNoCurrent", err)
+	}
+	e, err := pub.Publish(published, names, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 1 {
+		t.Fatalf("first publish = epoch %d, want 1", e)
+	}
+	if n, err := Current(root); err != nil || n != 1 {
+		t.Fatalf("Current = %d, %v", n, err)
+	}
+
+	totalOwners := 0
+	for k := 0; k < 2; k++ {
+		srv, n, err := Load(root, k, 2)
+		if err != nil {
+			t.Fatalf("Load shard %d: %v", k, err)
+		}
+		if n != 1 || srv.Epoch() != 1 {
+			t.Fatalf("shard %d: Load epoch %d, server epoch %d, want 1", k, n, srv.Epoch())
+		}
+		totalOwners += srv.Owners()
+	}
+	if totalOwners != len(names) {
+		t.Fatalf("shards hold %d owners, want %d", totalOwners, len(names))
+	}
+
+	// A second publication allocates the next number and moves CURRENT.
+	published2, names2 := buildIndex(t, 25, 30, 2)
+	if e, err = pub.Publish(published2, names2, 2); err != nil || e != 2 {
+		t.Fatalf("second publish = %d, %v, want epoch 2", e, err)
+	}
+	srv, n, err := Load(root, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || srv.Epoch() != 2 || srv.Providers() != 25 {
+		t.Fatalf("after republish: epoch %d/%d, providers %d", n, srv.Epoch(), srv.Providers())
+	}
+	// The previous epoch's shard set stays loadable (rollback material).
+	if _, err := LoadAt(root, 1, 0, 2); err != nil {
+		t.Fatalf("epoch 1 unreadable after publishing 2: %v", err)
+	}
+}
+
+func TestPublishRejectsBadShardCount(t *testing.T) {
+	published, names := buildIndex(t, 10, 10, 1)
+	pub := Publisher{Root: t.TempDir()}
+	if _, err := pub.Publish(published, names, 0); err == nil {
+		t.Fatal("publish with 0 shards succeeded")
+	}
+}
+
+func TestCorruptedCurrentRejected(t *testing.T) {
+	root := t.TempDir()
+	published, names := buildIndex(t, 10, 12, 1)
+	pub := Publisher{Root: root}
+	if _, err := pub.Publish(published, names, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, garbage := range []string{"", "zero\n", "-4\n", "0\n", "1 2\n"} {
+		if err := os.WriteFile(filepath.Join(root, CurrentName), []byte(garbage), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Current(root); !errors.Is(err, ErrBadCurrent) {
+			t.Fatalf("Current with %q = %v, want ErrBadCurrent", garbage, err)
+		}
+		// The publisher must not silently restart numbering over a live
+		// fleet when the pointer is torn.
+		if _, err := pub.Publish(published, names, 1); !errors.Is(err, ErrBadCurrent) {
+			t.Fatalf("Publish over corrupted CURRENT = %v, want ErrBadCurrent", err)
+		}
+	}
+}
+
+func TestLoadRejectsTornEpochDir(t *testing.T) {
+	root := t.TempDir()
+	published, names := buildIndex(t, 15, 20, 1)
+	pub := Publisher{Root: root}
+	if _, err := pub.Publish(published, names, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate one member snapshot of a second, hand-rolled epoch: the
+	// manifest checksum must reject the whole set.
+	src, dst := Dir(root, 1), Dir(root, 2)
+	copyDir(t, src, dst)
+	shardPath := filepath.Join(dst, "shard-001.idx")
+	raw, err := os.ReadFile(shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shardPath, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCurrent(root, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAt(root, 2, 0, 2); err == nil {
+		t.Fatal("torn epoch dir loaded")
+	}
+	// A copied set also carries the wrong embedded epoch — even with
+	// intact files, a misplaced set must not serve as epoch 2.
+	if err := os.WriteFile(shardPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAt(root, 2, 0, 2); err == nil {
+		t.Fatal("epoch-1 shard set served as epoch 2")
+	}
+
+	// A missing epoch dir (CURRENT flipped, set vanished) is rejected too.
+	if err := writeCurrent(root, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(root, 0, 2); err == nil {
+		t.Fatal("missing epoch dir loaded")
+	}
+}
+
+func TestLoadAtRejectsShardCountMismatch(t *testing.T) {
+	root := t.TempDir()
+	published, names := buildIndex(t, 10, 12, 1)
+	pub := Publisher{Root: root}
+	if _, err := pub.Publish(published, names, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAt(root, 1, 0, 3); err == nil {
+		t.Fatal("2-shard set loaded as a 3-shard set")
+	}
+}
+
+func TestWatcherSwapsOnNewEpoch(t *testing.T) {
+	root := t.TempDir()
+	published, names := buildIndex(t, 12, 16, 1)
+	pub := Publisher{Root: root}
+	if _, err := pub.Publish(published, names, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	swapped := make(chan uint64, 4)
+	w := &Watcher{
+		Root: root, Shard: 0, Of: 1, Period: 5 * time.Millisecond,
+		OnSwap: func(srv *index.Server, n uint64) error {
+			if srv.Epoch() != n {
+				t.Errorf("OnSwap server epoch %d, watcher says %d", srv.Epoch(), n)
+			}
+			swapped <- n
+			return nil
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { w.Run(ctx, 1); close(done) }()
+
+	published2, names2 := buildIndex(t, 12, 16, 9)
+	if _, err := pub.Publish(published2, names2, 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-swapped:
+		if n != 2 {
+			t.Fatalf("swapped to epoch %d, want 2", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher never swapped to epoch 2")
+	}
+	cancel()
+	<-done
+}
+
+func TestWatcherStaysOnRejectedEpoch(t *testing.T) {
+	root := t.TempDir()
+	published, names := buildIndex(t, 12, 16, 1)
+	pub := Publisher{Root: root}
+	if _, err := pub.Publish(published, names, 1); err != nil {
+		t.Fatal(err)
+	}
+	w := &Watcher{
+		Root: root, Shard: 0, Of: 1,
+		OnSwap: func(*index.Server, uint64) error {
+			t.Error("OnSwap called for a torn epoch")
+			return nil
+		},
+	}
+	// CURRENT points at an epoch that does not exist: poll must stay put.
+	if err := writeCurrent(root, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.poll(discardLogger(), 1); got != 1 {
+		t.Fatalf("poll moved to %d over a missing epoch dir", got)
+	}
+	// Corrupted CURRENT: same.
+	if err := os.WriteFile(filepath.Join(root, CurrentName), []byte("junk\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.poll(discardLogger(), 1); got != 1 {
+		t.Fatalf("poll moved to %d over a corrupted pointer", got)
+	}
+}
+
+func TestWatcherStaysWhenOnSwapFails(t *testing.T) {
+	root := t.TempDir()
+	published, names := buildIndex(t, 12, 16, 1)
+	pub := Publisher{Root: root}
+	if _, err := pub.Publish(published, names, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish(published, names, 1); err != nil {
+		t.Fatal(err)
+	}
+	w := &Watcher{
+		Root: root, Shard: 0, Of: 1,
+		OnSwap: func(*index.Server, uint64) error { return errors.New("node says no") },
+	}
+	if got := w.poll(discardLogger(), 1); got != 1 {
+		t.Fatalf("poll advanced to %d despite OnSwap failure", got)
+	}
+}
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package epoch
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/trace"
+)
+
+// DefaultPollPeriod is the CURRENT-pointer poll interval when the Watcher
+// does not set one.
+const DefaultPollPeriod = 2 * time.Second
+
+// Watcher polls an epoch store's CURRENT pointer and hands every newly
+// published epoch's shard to OnSwap. The load is all-or-nothing: the new
+// manifest is read and every checksum verified before OnSwap sees
+// anything, so a corrupted pointer or half-written epoch directory is
+// logged and skipped — the node keeps serving what it serves, and the
+// next tick retries.
+type Watcher struct {
+	// Root is the epoch store directory.
+	Root string
+	// Shard/Of select which member of each epoch's shard set to load.
+	Shard, Of int
+	// Period is the poll interval; 0 means DefaultPollPeriod.
+	Period time.Duration
+	// OnSwap receives each successfully loaded new epoch. An error return
+	// keeps the watcher on the old epoch (the swap is retried next tick).
+	OnSwap func(srv *index.Server, epoch uint64) error
+	// Logger receives swap and rejection logs; nil discards.
+	Logger *slog.Logger
+	// Tracer records one "epoch.reload" root span per swap attempt; nil
+	// disables tracing.
+	Tracer *trace.Tracer
+}
+
+// Run polls until ctx is cancelled. current is the epoch the caller
+// already serves (what Load returned at boot); only a different CURRENT
+// triggers a reload.
+func (w *Watcher) Run(ctx context.Context, current uint64) {
+	period := w.Period
+	if period <= 0 {
+		period = DefaultPollPeriod
+	}
+	logger := w.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			current = w.poll(logger, current)
+		}
+	}
+}
+
+// poll checks CURRENT once and returns the epoch the node serves after
+// the check (unchanged unless a reload succeeded end to end).
+func (w *Watcher) poll(logger *slog.Logger, current uint64) uint64 {
+	n, err := Current(w.Root)
+	if err != nil {
+		// ErrNoCurrent is normal before the first publish; anything else
+		// (corrupted pointer, IO error) is worth an operator's attention —
+		// but never worth abandoning the served epoch.
+		if current != 0 || !errors.Is(err, ErrNoCurrent) {
+			logger.Warn("epoch pointer unreadable, staying on current epoch",
+				slog.Uint64("epoch", current), slog.Any("error", err))
+		}
+		return current
+	}
+	if n == current {
+		return current
+	}
+	var sp *trace.Span
+	if w.Tracer != nil {
+		_, sp = w.Tracer.StartRoot(context.Background(), "epoch.reload")
+		sp.SetUint("from_epoch", current)
+		sp.SetUint("to_epoch", n)
+		defer sp.End()
+	}
+	srv, err := LoadAt(w.Root, n, w.Shard, w.Of)
+	if err != nil {
+		sp.Set("outcome", "rejected")
+		sp.Set("error", err.Error())
+		logger.Warn("new epoch rejected, staying on current epoch",
+			slog.Uint64("epoch", current), slog.Uint64("new_epoch", n), slog.Any("error", err))
+		return current
+	}
+	if err := w.OnSwap(srv, n); err != nil {
+		sp.Set("outcome", "swap_failed")
+		sp.Set("error", err.Error())
+		logger.Warn("epoch swap failed, staying on current epoch",
+			slog.Uint64("epoch", current), slog.Uint64("new_epoch", n), slog.Any("error", err))
+		return current
+	}
+	sp.Set("outcome", "swapped")
+	logger.Info("epoch swapped",
+		slog.Uint64("from_epoch", current), slog.Uint64("to_epoch", n),
+		slog.Int("providers", srv.Providers()), slog.Int("owners", srv.Owners()))
+	return n
+}

@@ -3,7 +3,10 @@ package gateway
 import (
 	"container/list"
 	"context"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 )
 
 // lookupResult is one cacheable QueryPPI outcome. Caching responses at
@@ -11,33 +14,51 @@ import (
 // false-positive noise is baked into the index at publication time, not
 // sampled per query, so every lookup of an owner returns the same
 // provider list until a new index version is published. "Owner unknown"
-// is equally stable, so negative results are cached too.
+// is equally stable, so negative results are cached too. The epoch makes
+// "until a new index version" operational: entries are keyed by it, so a
+// re-publication orphans every older entry at once.
 type lookupResult struct {
 	providers []int
 	notFound  bool
+	// epoch is the publication epoch of the index that answered, as
+	// reported by the upstream node.
+	epoch uint64
 }
 
-// cache is a fixed-capacity LRU of lookupResults keyed by owner name.
-// All methods are safe for concurrent use.
+// cacheKey scopes an owner's cache entry to one publication epoch. When
+// the fleet swaps to epoch N+1 the gateway starts keying by N+1, so every
+// epoch-N entry — negatives included — becomes unreachable in one step
+// and ages out of the LRU; no scan, no flush.
+func cacheKey(epoch uint64, owner string) string {
+	return strconv.FormatUint(epoch, 10) + "\x00" + owner
+}
+
+// cache is a fixed-capacity LRU of lookupResults keyed by (epoch, owner).
+// All methods are safe for concurrent use. A non-zero ttl additionally
+// expires entries by age — the safety net for deployments that never
+// publish a new epoch, where stale-by-LRU would otherwise be the only
+// bound on entry lifetime.
 type cache struct {
 	mu    sync.Mutex
 	cap   int
-	ll    *list.List // front = most recent; values are *cacheEntry
+	ttl   time.Duration // 0: entries never expire by age
+	ll    *list.List    // front = most recent; values are *cacheEntry
 	items map[string]*list.Element
 }
 
 type cacheEntry struct {
-	key string
-	val lookupResult
+	key     string
+	val     lookupResult
+	expires time.Time // zero: never
 }
 
 // newCache returns an LRU holding up to capacity entries; capacity <= 0
 // returns nil, and a nil cache misses on every get and drops every put.
-func newCache(capacity int) *cache {
+func newCache(capacity int, ttl time.Duration) *cache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element, capacity)}
+	return &cache{cap: capacity, ttl: ttl, ll: list.New(), items: make(map[string]*list.Element, capacity)}
 }
 
 func (c *cache) get(key string) (lookupResult, bool) {
@@ -50,26 +71,61 @@ func (c *cache) get(key string) (lookupResult, bool) {
 	if !ok {
 		return lookupResult{}, false
 	}
+	ent := el.Value.(*cacheEntry)
+	if !ent.expires.IsZero() && time.Now().After(ent.expires) {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		return lookupResult{}, false
+	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	return ent.val, true
 }
 
 func (c *cache) put(key string, val lookupResult) {
 	if c == nil {
 		return
 	}
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = time.Now().Add(c.ttl)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		ent := el.Value.(*cacheEntry)
+		ent.val = val
+		ent.expires = expires
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, expires: expires})
 	if c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// purgeOtherEpochs drops every entry not keyed by epoch e. Called when the
+// gateway learns the fleet advanced: the orphaned entries would never be
+// read again (the key prefix moved on), so evicting them immediately frees
+// their LRU slots for current-epoch answers instead of letting stale
+// ballast age out one eviction at a time.
+func (c *cache) purgeOtherEpochs(e uint64) {
+	if c == nil {
+		return
+	}
+	prefix := strconv.FormatUint(e, 10) + "\x00"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		ent := el.Value.(*cacheEntry)
+		if !strings.HasPrefix(ent.key, prefix) {
+			c.ll.Remove(el)
+			delete(c.items, ent.key)
+		}
 	}
 }
 

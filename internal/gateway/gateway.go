@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/httpapi"
@@ -68,6 +69,10 @@ type Config struct {
 	// CacheSize is the response-cache capacity in entries; < 0 disables
 	// caching, 0 means DefaultCacheSize.
 	CacheSize int
+	// CacheTTL expires cache entries by age. Epoch-keyed invalidation is
+	// the primary freshness mechanism; the TTL is the safety net for
+	// deployments that never publish a new epoch. 0 disables expiry.
+	CacheTTL time.Duration
 	// MaxInFlight bounds concurrently admitted requests; 0 means
 	// DefaultMaxInFlight.
 	MaxInFlight int
@@ -109,6 +114,11 @@ type Gateway struct {
 	inst    instruments
 	probeWG sync.WaitGroup
 	stop    context.CancelFunc
+
+	// epoch is the highest publication epoch any upstream has reported.
+	// It keys the response cache: advancing it orphans every entry of the
+	// older epochs in one step.
+	epoch atomic.Uint64
 }
 
 // instruments are the gateway's registry-backed counters. All fields
@@ -125,6 +135,8 @@ type instruments struct {
 	upstream   *metrics.Histogram
 	inflightG  *metrics.Gauge
 	cacheSizeG *metrics.Gauge
+	epochG     *metrics.Gauge // highest upstream-reported epoch
+	skewG      *metrics.Gauge // epoch spread across shards, last fan-out
 }
 
 // New builds a gateway over cfg.Shards and starts its health prober.
@@ -153,7 +165,7 @@ func New(cfg Config) (*Gateway, error) {
 		hedge = -1
 	}
 	g := &Gateway{
-		cache:  newCache(cacheSize),
+		cache:  newCache(cacheSize, cfg.CacheTTL),
 		flight: newFlight(),
 		lat:    &latencyWindow{},
 		hedge:  hedge,
@@ -175,6 +187,8 @@ func New(cfg Config) (*Gateway, error) {
 			upstream:   g.reg.Histogram("eppi_gateway_upstream_seconds", "Upstream shard request latency.", metrics.DefDurationBuckets),
 			inflightG:  g.reg.Gauge("eppi_gateway_inflight", "Requests currently admitted."),
 			cacheSizeG: g.reg.Gauge("eppi_gateway_cache_entries", "Live response-cache entries."),
+			epochG:     g.reg.Gauge("eppi_gateway_epoch", "Highest publication epoch reported by any upstream shard."),
+			skewG:      g.reg.Gauge("eppi_gateway_epoch_skew", "Epoch spread (max-min) across shards in the last fan-out search; 0 when the fleet agrees."),
 		}
 		g.reg.OnCollect(func() { g.inst.cacheSizeG.Set(float64(g.cache.len())) })
 		g.reg.Gauge("eppi_gateway_shards", "Shard count the gateway routes over.").Set(float64(len(cfg.Shards)))
@@ -250,19 +264,48 @@ func (g *Gateway) Lookup(ctx context.Context, owner string) ([]int, error) {
 	return res.providers, nil
 }
 
+// Epoch returns the highest publication epoch any upstream shard has
+// reported to this gateway (0 before the first upstream answer, or for a
+// pre-epoch fleet).
+func (g *Gateway) Epoch() uint64 { return g.epoch.Load() }
+
+// observeEpoch folds one upstream-reported epoch into the gateway's view
+// (monotonic max). Advancing re-keys the cache — every entry of the older
+// epoch, negatives included, becomes unreachable at once — and the
+// now-dead entries are evicted so their LRU slots serve the new epoch.
+func (g *Gateway) observeEpoch(e uint64) {
+	for {
+		cur := g.epoch.Load()
+		if e <= cur {
+			return
+		}
+		if g.epoch.CompareAndSwap(cur, e) {
+			g.cache.purgeOtherEpochs(e)
+			g.inst.epochG.Set(float64(e))
+			g.logger.Info("fleet epoch advanced",
+				slog.Uint64("from_epoch", cur), slog.Uint64("to_epoch", e))
+			return
+		}
+	}
+}
+
 // lookup implements Lookup; cached reports whether the answer came from
 // the response cache (for the span annotation and the handler's counters).
 func (g *Gateway) lookup(ctx context.Context, owner string) (lookupResult, bool, error) {
 	g.inst.lookups.Inc()
-	if res, ok := g.cache.get(owner); ok {
+	key := cacheKey(g.epoch.Load(), owner)
+	if res, ok := g.cache.get(key); ok {
 		g.inst.cacheHits.Inc()
 		return res, true, nil
 	}
 	g.inst.cacheMiss.Inc()
-	res, shared, err := g.flight.do(ctx, owner, func() (lookupResult, error) {
+	res, shared, err := g.flight.do(ctx, key, func() (lookupResult, error) {
 		res, err := g.fetch(ctx, owner)
 		if err == nil {
-			g.cache.put(owner, res)
+			g.observeEpoch(res.epoch)
+			// Key by the epoch that actually answered: mid-swap, a newer
+			// upstream's answer must not be findable under the old epoch.
+			g.cache.put(cacheKey(res.epoch, owner), res)
 		}
 		return res, err
 	})
@@ -316,7 +359,7 @@ func (g *Gateway) race(ctx context.Context, owner string, candidates []*replica)
 			sp.Set("replica", r.base)
 			sp.SetInt("attempt", idx)
 			start := time.Now()
-			providers, err := r.client.Query(raceCtx, owner)
+			providers, epoch, err := r.client.QueryEpoch(raceCtx, owner)
 			elapsed := time.Since(start)
 			g.inst.upstream.Observe(elapsed.Seconds())
 			if err == nil || errors.Is(err, httpapi.ErrOwnerNotFound) {
@@ -325,12 +368,15 @@ func (g *Gateway) race(ctx context.Context, owner string, candidates []*replica)
 			if err != nil {
 				sp.Set("error", err.Error())
 			}
+			sp.SetUint("epoch", epoch)
 			sp.End()
 			switch {
 			case err == nil:
-				results <- outcome{res: lookupResult{providers: providers}, idx: idx}
+				results <- outcome{res: lookupResult{providers: providers, epoch: epoch}, idx: idx}
 			case errors.Is(err, httpapi.ErrOwnerNotFound):
-				results <- outcome{res: lookupResult{notFound: true}, idx: idx}
+				// A 404 is an epoch-attributed answer too: "this owner is
+				// absent from epoch N" may stop holding at N+1.
+				results <- outcome{res: lookupResult{notFound: true, epoch: epoch}, idx: idx}
 			default:
 				results <- outcome{err: err, idx: idx}
 			}
@@ -390,11 +436,23 @@ func (g *Gateway) race(ctx context.Context, owner string, candidates []*replica)
 // SearchAll fans a substring search out to every shard (one healthy
 // replica each, with failover) and merges the results in owner order.
 func (g *Gateway) SearchAll(ctx context.Context, q string, limit int) ([]index.Match, error) {
+	matches, _, err := g.searchAll(ctx, q, limit)
+	return matches, err
+}
+
+// searchAll implements SearchAll and additionally reports the highest
+// epoch the answering shards served from. A fleet mid-swap answers a
+// fan-out from two different matrices at once; rather than silently
+// merging them, the gateway surfaces the skew (eppi_gateway_epoch_skew,
+// a warning log, and span attributes) so the operator — and the epoch
+// header on the response — can tell the merge was mixed.
+func (g *Gateway) searchAll(ctx context.Context, q string, limit int) ([]index.Match, uint64, error) {
 	g.inst.searches.Inc()
 	ctx, sp := trace.StartChild(ctx, "gateway.search_fanout")
 	defer sp.End()
 	type shardOut struct {
 		matches []index.Match
+		epoch   uint64
 		err     error
 	}
 	outs := make([]shardOut, len(g.shards))
@@ -405,9 +463,9 @@ func (g *Gateway) SearchAll(ctx context.Context, q string, limit int) ([]index.M
 			defer wg.Done()
 			var lastErr error
 			for _, r := range st.candidates() {
-				matches, err := r.client.Search(ctx, q, limit)
+				matches, epoch, err := r.client.SearchEpoch(ctx, q, limit)
 				if err == nil {
-					outs[k] = shardOut{matches: matches}
+					outs[k] = shardOut{matches: matches, epoch: epoch}
 					return
 				}
 				lastErr = err
@@ -417,19 +475,35 @@ func (g *Gateway) SearchAll(ctx context.Context, q string, limit int) ([]index.M
 	}
 	wg.Wait()
 	var merged []index.Match
+	minEpoch, maxEpoch := ^uint64(0), uint64(0)
 	for _, out := range outs {
 		if out.err != nil {
 			sp.Set("error", out.err.Error())
-			return nil, out.err
+			return nil, 0, out.err
 		}
 		merged = append(merged, out.matches...)
+		if out.epoch < minEpoch {
+			minEpoch = out.epoch
+		}
+		if out.epoch > maxEpoch {
+			maxEpoch = out.epoch
+		}
+	}
+	g.observeEpoch(maxEpoch)
+	skew := maxEpoch - minEpoch
+	g.inst.skewG.Set(float64(skew))
+	sp.SetUint("epoch", maxEpoch)
+	if skew > 0 {
+		sp.SetUint("epoch_skew", skew)
+		g.logger.Warn("mixed-epoch fan-out: shards answered from different index versions",
+			slog.Uint64("min_epoch", minEpoch), slog.Uint64("max_epoch", maxEpoch))
 	}
 	sort.Slice(merged, func(i, j int) bool { return merged[i].Owner < merged[j].Owner })
 	if limit > 0 && len(merged) > limit {
 		merged = merged[:limit]
 	}
 	sp.SetInt("matches", len(merged))
-	return merged, nil
+	return merged, maxEpoch, nil
 }
 
 // AggregateStats sums the per-shard load counters (first healthy replica

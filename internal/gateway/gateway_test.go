@@ -24,7 +24,7 @@ import (
 )
 
 func TestCacheLRU(t *testing.T) {
-	c := newCache(2)
+	c := newCache(2, 0)
 	c.put("a", lookupResult{providers: []int{1}})
 	c.put("b", lookupResult{providers: []int{2}})
 	if _, ok := c.get("a"); !ok {
@@ -46,13 +46,70 @@ func TestCacheLRU(t *testing.T) {
 }
 
 func TestCacheDisabled(t *testing.T) {
-	var c *cache = newCache(0)
+	var c *cache = newCache(0, 0)
 	c.put("a", lookupResult{})
 	if _, ok := c.get("a"); ok {
 		t.Fatal("disabled cache stored an entry")
 	}
 	if c.len() != 0 {
 		t.Fatal("disabled cache has length")
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	c := newCache(4, 25*time.Millisecond)
+	c.put("a", lookupResult{providers: []int{1}})
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	time.Sleep(40 * time.Millisecond)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("expired entry served")
+	}
+	if c.len() != 0 {
+		t.Fatalf("len after expiry = %d, want 0 (get evicts)", c.len())
+	}
+	// A re-put after expiry is fresh again.
+	c.put("a", lookupResult{providers: []int{2}})
+	if got, ok := c.get("a"); !ok || got.providers[0] != 2 {
+		t.Fatalf("re-put entry = %+v, %v", got, ok)
+	}
+}
+
+func TestCachePurgeOtherEpochs(t *testing.T) {
+	c := newCache(8, 0)
+	c.put(cacheKey(1, "alice"), lookupResult{epoch: 1})
+	c.put(cacheKey(1, "bob"), lookupResult{epoch: 1, notFound: true})
+	c.put(cacheKey(2, "alice"), lookupResult{epoch: 2})
+	c.purgeOtherEpochs(2)
+	if c.len() != 1 {
+		t.Fatalf("len after purge = %d, want 1", c.len())
+	}
+	if _, ok := c.get(cacheKey(1, "alice")); ok {
+		t.Fatal("epoch-1 entry survived the purge")
+	}
+	if _, ok := c.get(cacheKey(1, "bob")); ok {
+		t.Fatal("epoch-1 negative entry survived the purge")
+	}
+	if _, ok := c.get(cacheKey(2, "alice")); !ok {
+		t.Fatal("current-epoch entry purged")
+	}
+}
+
+func TestCacheKeyScopesByEpoch(t *testing.T) {
+	// Same owner, different epochs: distinct entries. An owner name that
+	// starts with digits must not collide with another epoch's key space.
+	c := newCache(8, 0)
+	c.put(cacheKey(1, "alice"), lookupResult{epoch: 1, providers: []int{1}})
+	c.put(cacheKey(2, "alice"), lookupResult{epoch: 2, providers: []int{2}})
+	if got, _ := c.get(cacheKey(1, "alice")); len(got.providers) != 1 || got.providers[0] != 1 {
+		t.Fatalf("epoch-1 entry = %+v", got)
+	}
+	if got, _ := c.get(cacheKey(2, "alice")); len(got.providers) != 1 || got.providers[0] != 2 {
+		t.Fatalf("epoch-2 entry = %+v", got)
+	}
+	if cacheKey(1, "2alice") == cacheKey(12, "alice") {
+		t.Fatal("epoch/owner boundary ambiguous")
 	}
 }
 

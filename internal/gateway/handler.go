@@ -61,6 +61,7 @@ func (g *gate) inFlight() int { return len(g.sem) }
 type GatewayHealthz struct {
 	Status   string     `json:"status"`
 	Shards   int        `json:"shards"`
+	Epoch    uint64     `json:"epoch"` // highest upstream-reported epoch
 	Replicas [][]string `json:"replicas"` // [shard][replica] = "up" | "down"
 }
 
@@ -203,6 +204,9 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
 		return
 	}
+	// Stamp the epoch of the answer itself (a cache hit reports the epoch
+	// it was fetched under, exactly like the shard node would have).
+	w.Header().Set(httpapi.EpochHeader, strconv.FormatUint(res.epoch, 10))
 	if res.notFound {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "owner not found: " + owner})
 		return
@@ -225,11 +229,12 @@ func (g *Gateway) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	matches, err := g.SearchAll(r.Context(), q, limit)
+	matches, epoch, err := g.searchAll(r.Context(), q, limit)
 	if err != nil {
 		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
 		return
 	}
+	w.Header().Set(httpapi.EpochHeader, strconv.FormatUint(epoch, 10))
 	if matches == nil {
 		matches = []index.Match{}
 	}
@@ -242,7 +247,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := GatewayHealthz{Status: "ok", Shards: len(g.shards), Replicas: make([][]string, len(g.shards))}
+	resp := GatewayHealthz{Status: "ok", Shards: len(g.shards), Epoch: g.Epoch(), Replicas: make([][]string, len(g.shards))}
 	for k, st := range g.shards {
 		live := 0
 		states := make([]string, len(st.replicas))

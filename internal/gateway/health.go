@@ -91,6 +91,13 @@ func (g *Gateway) probeOnce(ctx context.Context) {
 						slog.Int("want_shard", st.id),
 						slog.Int("have_shard", hz.Shard.ID))
 				}
+				if ok {
+					// The probe doubles as the epoch signal: a gateway whose
+					// cache covers every hot owner may serve hits for minutes
+					// without an upstream call, and would otherwise never
+					// learn the fleet swapped to a new publication.
+					g.observeEpoch(hz.Epoch)
+				}
 				was := r.up.Swap(ok)
 				if was != ok {
 					if ok {

@@ -33,6 +33,8 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/index"
@@ -49,14 +51,29 @@ const (
 	// ParentSpanHeader carries the caller's span id, adopted as the
 	// parent of the server's root span.
 	ParentSpanHeader = "X-Eppi-Parent-Span"
+	// EpochHeader carries the publication epoch of the index that
+	// answered, stamped on every response. The gateway keys its response
+	// cache by it (so a re-publication invalidates stale entries) and
+	// uses it to detect mixed-epoch fleets mid-swap.
+	EpochHeader = "X-Eppi-Epoch"
 )
 
-// Handler serves the locator API over an index server.
+// Handler serves the locator API over an index server. The server is held
+// behind an atomic pointer so a re-published index can be hot-swapped in
+// (Swap) RCU-style: each request loads the pointer once and runs entirely
+// against that snapshot, so in-flight queries finish on the old epoch
+// while new requests see the new one — no restart, no lock on the query
+// path.
 type Handler struct {
-	server *index.Server
+	server atomic.Pointer[index.Server]
 	mux    *http.ServeMux
 	reg    *metrics.Registry
 	tracer *trace.Tracer
+
+	// swapMu serializes Swap against itself; the query path never takes it.
+	swapMu sync.Mutex
+	epochG *metrics.Gauge   // eppi_epoch (nil without metrics)
+	swaps  *metrics.Counter // eppi_epoch_swaps_total (nil without metrics)
 }
 
 var _ http.Handler = (*Handler)(nil)
@@ -86,7 +103,8 @@ func NewHandler(srv *index.Server, opts ...Option) (*Handler, error) {
 	if srv == nil {
 		return nil, errors.New("httpapi: nil index server")
 	}
-	h := &Handler{server: srv, mux: http.NewServeMux()}
+	h := &Handler{mux: http.NewServeMux()}
+	h.server.Store(srv)
 	for _, opt := range opts {
 		opt(h)
 	}
@@ -97,6 +115,9 @@ func NewHandler(srv *index.Server, opts ...Option) (*Handler, error) {
 			h.reg.Gauge("eppi_shard_id", "Column shard id this node serves.").Set(float64(id))
 			h.reg.Gauge("eppi_shard_count", "Total shards in the index partition.").Set(float64(of))
 		}
+		h.epochG = h.reg.Gauge("eppi_epoch", "Publication epoch of the index being served.")
+		h.epochG.Set(float64(srv.Epoch()))
+		h.swaps = h.reg.Counter("eppi_epoch_swaps_total", "Hot snapshot swaps to a newly published epoch.")
 	}
 	if h.tracer != nil {
 		// /v1/traces itself is excluded from tracing so reading the ring
@@ -108,6 +129,45 @@ func NewHandler(srv *index.Server, opts ...Option) (*Handler, error) {
 	h.mux.HandleFunc("GET /v1/stats", h.wrap("stats", h.handleStats))
 	h.mux.HandleFunc("GET /v1/healthz", h.wrap("healthz", h.handleHealthz))
 	return h, nil
+}
+
+// srv returns the currently served index snapshot. Handlers load it once
+// per request and use that snapshot throughout, so a concurrent Swap
+// never mixes two epochs inside one response.
+func (h *Handler) srv() *index.Server {
+	return h.server.Load()
+}
+
+// Swap atomically replaces the served index with a newly published epoch.
+// In-flight requests finish against the snapshot they already loaded; new
+// requests see next. The swap refuses a snapshot whose shard identity
+// differs from the current one — a re-publication changes the epoch, not
+// which slice of the index this node serves.
+func (h *Handler) Swap(next *index.Server) error {
+	if next == nil {
+		return errors.New("httpapi: swap to nil index server")
+	}
+	h.swapMu.Lock()
+	defer h.swapMu.Unlock()
+	cur := h.server.Load()
+	curID, curOf, curSharded := cur.ShardInfo()
+	nextID, nextOf, nextSharded := next.ShardInfo()
+	if curSharded != nextSharded || curID != nextID || curOf != nextOf {
+		return fmt.Errorf("httpapi: swap changes shard identity %d/%d → %d/%d", curID, curOf, nextID, nextOf)
+	}
+	if h.reg != nil {
+		// Idempotent: the registry hands back the same series, so query
+		// counters continue across epochs instead of resetting.
+		next.Instrument(h.reg)
+	}
+	h.server.Store(next)
+	if h.epochG != nil {
+		h.epochG.Set(float64(next.Epoch()))
+	}
+	if h.swaps != nil {
+		h.swaps.Inc()
+	}
+	return nil
 }
 
 // wrap layers the tracing and metrics middleware (both conditional on
@@ -138,10 +198,12 @@ func (h *Handler) traced(route string, fn http.HandlerFunc) http.HandlerFunc {
 		}
 		sp.Set("method", r.Method)
 		sp.Set("route", route)
-		if id, of, sharded := h.server.ShardInfo(); sharded {
+		srv := h.srv()
+		if id, of, sharded := srv.ShardInfo(); sharded {
 			sp.SetInt("shard", id)
 			sp.SetInt("shards", of)
 		}
+		sp.SetUint("epoch", srv.Epoch())
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		fn(sw, r.WithContext(ctx))
 		sp.SetInt("status", sw.code)
@@ -219,11 +281,13 @@ type ShardRef struct {
 }
 
 // HealthzResponse is the /v1/healthz payload. Shard is nil for a node
-// serving a full, unsharded index.
+// serving a full, unsharded index; Epoch is 0 for an index that was never
+// re-published.
 type HealthzResponse struct {
 	Status    string    `json:"status"`
 	Providers int       `json:"providers"`
 	Owners    int       `json:"owners"`
+	Epoch     uint64    `json:"epoch"`
 	Shard     *ShardRef `json:"shard,omitempty"`
 }
 
@@ -232,13 +296,22 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// setEpochHeader stamps the answering snapshot's epoch on the response.
+// Handlers call it with the same snapshot they answer from, so header and
+// body can never straddle a concurrent swap.
+func setEpochHeader(w http.ResponseWriter, srv *index.Server) {
+	w.Header().Set(EpochHeader, strconv.FormatUint(srv.Epoch(), 10))
+}
+
 func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	srv := h.srv()
+	setEpochHeader(w, srv)
 	owner := r.URL.Query().Get("owner")
 	if owner == "" {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing owner parameter"})
 		return
 	}
-	providers, err := h.server.QueryCtx(r.Context(), owner)
+	providers, err := srv.QueryCtx(r.Context(), owner)
 	if err != nil {
 		if errors.Is(err, index.ErrUnknownOwner) {
 			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
@@ -254,7 +327,9 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := h.server.Stats()
+	srv := h.srv()
+	setEpochHeader(w, srv)
+	st := srv.Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{Queries: st.Queries, AvgFanout: st.AvgFanout})
 }
 
@@ -263,6 +338,8 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 const maxSearchResults = 1000
 
 func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
+	srv := h.srv()
+	setEpochHeader(w, srv)
 	q := r.URL.Query().Get("q")
 	limit := maxSearchResults
 	if raw := r.URL.Query().Get("limit"); raw != "" {
@@ -275,7 +352,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 			limit = n
 		}
 	}
-	results := h.server.Search(r.Context(), q, limit)
+	results := srv.Search(r.Context(), q, limit)
 	if results == nil {
 		results = []index.Match{}
 	}
@@ -283,12 +360,15 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	srv := h.srv()
+	setEpochHeader(w, srv)
 	resp := HealthzResponse{
 		Status:    "ok",
-		Providers: h.server.Providers(),
-		Owners:    h.server.Owners(),
+		Providers: srv.Providers(),
+		Owners:    srv.Owners(),
+		Epoch:     srv.Epoch(),
 	}
-	if id, of, sharded := h.server.ShardInfo(); sharded {
+	if id, of, sharded := srv.ShardInfo(); sharded {
 		resp.Shard = &ShardRef{ID: id, Of: of}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -329,6 +409,9 @@ const DefaultTimeout = 10 * time.Second
 // Default retry policy: every API call is an idempotent GET, so the
 // client retries transient failures (connection errors, 5xx, 429) a few
 // times with capped, jittered exponential backoff before giving up.
+// A Retry-After header on the failure (the gateway's load shedder sends
+// one with its 503s) overrides the client's own backoff: the server
+// knows its load better than the client's doubling schedule does.
 const (
 	// DefaultRetries is the number of re-attempts after the first try.
 	DefaultRetries = 2
@@ -336,6 +419,9 @@ const (
 	DefaultBackoff = 25 * time.Millisecond
 	// DefaultBackoffCap bounds the grown backoff interval.
 	DefaultBackoffCap = 250 * time.Millisecond
+	// RetryAfterCap bounds how long a server-sent Retry-After may hold the
+	// client — a confused (or hostile) server must not park it for hours.
+	RetryAfterCap = 5 * time.Second
 )
 
 // Client is a typed client for the locator API, used by remote searchers
@@ -423,10 +509,20 @@ func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 			// The caller gave up; a retry would only mask that.
 			return nil, err
 		}
+		retryAfter := time.Duration(-1)
 		if err == nil {
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 			// Retrying: release the connection of the failed attempt.
 			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
+		}
+		if retryAfter >= 0 {
+			// The server said when to come back; honor that instead of
+			// guessing, without advancing the exponential schedule.
+			if err := sleepFor(ctx, retryAfter); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if err := sleepJittered(ctx, backoff); err != nil {
 			return nil, err
@@ -434,6 +530,41 @@ func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 		if backoff *= 2; backoff > c.backoffCap {
 			backoff = c.backoffCap
 		}
+	}
+}
+
+// parseRetryAfter interprets a Retry-After header as delay-seconds,
+// clamped to RetryAfterCap. It returns -1 for an absent or unparseable
+// header (the HTTP-date form is deliberately unsupported: every sender in
+// this system uses seconds). 0 is valid and means "retry immediately".
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return -1
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return -1
+	}
+	d := time.Duration(secs) * time.Second
+	if d > RetryAfterCap {
+		d = RetryAfterCap
+	}
+	return d
+}
+
+// sleepFor sleeps exactly d (no jitter — the server picked the number),
+// returning early with the context error on cancellation.
+func sleepFor(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
 	}
 }
 
@@ -454,28 +585,47 @@ func sleepJittered(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// epochOf parses the EpochHeader a serving node stamps on every
+// response; a missing or malformed header reads as epoch 0 (a pre-epoch
+// node).
+func epochOf(resp *http.Response) uint64 {
+	n, _ := strconv.ParseUint(resp.Header.Get(EpochHeader), 10, 64)
+	return n
+}
+
 // Query runs QueryPPI remotely. The context bounds the round-trip
 // (cancellation and deadline).
 func (c *Client) Query(ctx context.Context, owner string) ([]int, error) {
+	providers, _, err := c.QueryEpoch(ctx, owner)
+	return providers, err
+}
+
+// QueryEpoch is Query plus the publication epoch of the index that
+// answered (from the EpochHeader the node stamps on every response —
+// including 404s, so negative answers are epoch-attributed too). The
+// gateway uses the epoch to key its response cache and to spot
+// mixed-epoch fleets.
+func (c *Client) QueryEpoch(ctx context.Context, owner string) ([]int, uint64, error) {
 	resp, err := c.get(ctx, "/v1/query?owner="+url.QueryEscape(owner))
 	if err != nil {
-		return nil, fmt.Errorf("httpapi: query: %w", err)
+		return nil, 0, fmt.Errorf("httpapi: query: %w", err)
 	}
 	defer resp.Body.Close()
+	epoch := epochOf(resp)
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusNotFound:
-		return nil, fmt.Errorf("%w: %q", ErrOwnerNotFound, owner)
+		return nil, epoch, fmt.Errorf("%w: %q", ErrOwnerNotFound, owner)
 	default:
 		var e errorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return nil, fmt.Errorf("httpapi: query status %d: %s", resp.StatusCode, e.Error)
+		return nil, epoch, fmt.Errorf("httpapi: query status %d: %s", resp.StatusCode, e.Error)
 	}
 	var qr QueryResponse
 	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-		return nil, fmt.Errorf("httpapi: decode query response: %w", err)
+		return nil, epoch, fmt.Errorf("httpapi: decode query response: %w", err)
 	}
-	return qr.Providers, nil
+	return qr.Providers, epoch, nil
 }
 
 // Base returns the base URL the client targets.
@@ -484,25 +634,34 @@ func (c *Client) Base() string { return c.base }
 // Search runs a remote substring search over the owner labels. limit <= 0
 // leaves the cap to the server.
 func (c *Client) Search(ctx context.Context, q string, limit int) ([]index.Match, error) {
+	results, _, err := c.SearchEpoch(ctx, q, limit)
+	return results, err
+}
+
+// SearchEpoch is Search plus the publication epoch of the index that
+// answered, so a fan-out caller can tell when its shards disagree on the
+// index version (a fleet mid-swap).
+func (c *Client) SearchEpoch(ctx context.Context, q string, limit int) ([]index.Match, uint64, error) {
 	path := "/v1/search?q=" + url.QueryEscape(q)
 	if limit > 0 {
 		path += "&limit=" + strconv.Itoa(limit)
 	}
 	resp, err := c.get(ctx, path)
 	if err != nil {
-		return nil, fmt.Errorf("httpapi: search: %w", err)
+		return nil, 0, fmt.Errorf("httpapi: search: %w", err)
 	}
 	defer resp.Body.Close()
+	epoch := epochOf(resp)
 	if resp.StatusCode != http.StatusOK {
 		var e errorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return nil, fmt.Errorf("httpapi: search status %d: %s", resp.StatusCode, e.Error)
+		return nil, epoch, fmt.Errorf("httpapi: search status %d: %s", resp.StatusCode, e.Error)
 	}
 	var sr SearchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return nil, fmt.Errorf("httpapi: decode search response: %w", err)
+		return nil, epoch, fmt.Errorf("httpapi: decode search response: %w", err)
 	}
-	return sr.Results, nil
+	return sr.Results, epoch, nil
 }
 
 // Stats fetches the service's load counters.

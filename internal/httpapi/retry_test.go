@@ -3,6 +3,7 @@ package httpapi
 import (
 	"context"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -118,6 +119,106 @@ func TestClientRetryHonorsCancellation(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("cancellation took %v; backoff ignored the context", elapsed)
 	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", -1},           // absent: caller falls back to its own backoff
+		{"later", -1},      // HTTP-date form unsupported, treated as absent
+		{"-3", -1},         // negative is nonsense
+		{"1.5", -1},        // delay-seconds is an integer
+		{"0", 0},           // valid: retry immediately
+		{"2", 2 * time.Second},
+		{"9999", RetryAfterCap}, // a server cannot park the client for hours
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// retryAfterHandler 503s with a Retry-After header for the first fail
+// requests, then delegates.
+type retryAfterHandler struct {
+	fail  int32
+	after string
+	seen  atomic.Int32
+	inner http.Handler
+}
+
+func (h *retryAfterHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.seen.Add(1) <= h.fail {
+		w.Header().Set("Retry-After", h.after)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	// The client's own backoff is set absurdly long; the server's
+	// Retry-After: 0 says "now is fine". If the client ignored the header
+	// and used its backoff, this test would take 20s+ and trip the bound.
+	ts, _ := flakyService(t, 0, 0)
+	fh := &retryAfterHandler{fail: 2, after: "0", inner: mustHandlerOf(t, ts)}
+	rts := httptest.NewServer(fh)
+	defer rts.Close()
+	client := NewClient(rts.URL, rts.Client(),
+		WithBackoff(10*time.Second, 10*time.Second))
+	start := time.Now()
+	got, err := client.Query(context.Background(), "alice")
+	if err != nil {
+		t.Fatalf("query through two Retry-After 503s: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("providers = %v", got)
+	}
+	if n := fh.seen.Load(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3", n)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("took %v; client slept its own backoff instead of Retry-After", elapsed)
+	}
+}
+
+func TestClientRetryAfterDoesNotSpendBackoff(t *testing.T) {
+	// Honoring Retry-After must not advance the exponential backoff
+	// schedule: after header-directed retries, an unadorned 503 still gets
+	// the client's *first* backoff step, not an escalated one.
+	ts, _ := flakyService(t, 0, 0)
+	fh := &retryAfterHandler{fail: 3, after: "0", inner: mustHandlerOf(t, ts)}
+	rts := httptest.NewServer(fh)
+	defer rts.Close()
+	client := NewClient(rts.URL, rts.Client(),
+		WithRetries(5), WithBackoff(time.Millisecond, time.Millisecond))
+	if _, err := client.Query(context.Background(), "alice"); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	// 3 header-directed retries + success must fit inside the retry budget
+	// with room to spare.
+	if n := fh.seen.Load(); n != 4 {
+		t.Fatalf("server saw %d requests, want 4", n)
+	}
+}
+
+// mustHandlerOf extracts a fresh locator handler like flakyService builds,
+// reusing its fixture index.
+func mustHandlerOf(t *testing.T, ts *httptest.Server) http.Handler {
+	t.Helper()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp, err := ts.Client().Get(ts.URL + r.URL.String())
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	})
 }
 
 func TestClientRetriesConnectionError(t *testing.T) {

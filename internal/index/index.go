@@ -32,6 +32,12 @@ type Server struct {
 	shard  int
 	shards int
 
+	// epoch is the publication epoch this index belongs to (0 for an
+	// index that was never re-published). It is immutable once serving
+	// starts: a new epoch arrives as a whole new Server, swapped in
+	// RCU-style by the serving layer, never mutated in place.
+	epoch uint64
+
 	queries atomic.Uint64
 	fanout  atomic.Uint64 // cumulative result-list length (search cost)
 	unknown atomic.Uint64 // queries for owners absent from the index
@@ -107,6 +113,15 @@ func (s *Server) SetShard(id, of int) error {
 func (s *Server) ShardInfo() (id, of int, sharded bool) {
 	return s.shard, s.shards, s.shards > 0
 }
+
+// SetEpoch stamps the publication epoch the index belongs to. Epoch
+// identity travels with snapshots (WriteTo/Read) and is reported by the
+// serving tier so a fleet mid-re-publication can tell which index
+// version each node answers from.
+func (s *Server) SetEpoch(e uint64) { s.epoch = e }
+
+// Epoch returns the publication epoch (0: never re-published).
+func (s *Server) Epoch() uint64 { return s.epoch }
 
 // PublishedMatrix returns a copy of M'. The matrix is public by
 // construction — it is exactly what the untrusted host serves — so

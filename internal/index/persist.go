@@ -29,8 +29,13 @@ import (
 // bad magic / unknown version / absurd length, a payload corruption as a
 // checksum mismatch, and a short file as ErrTruncated.
 
-// FrameVersion is the current snapshot format version.
-const FrameVersion uint16 = 1
+// FrameVersion is the current snapshot format version. Version 2 added
+// the epoch number to Snapshot and shard.Manifest payloads; version-1
+// frames (and pre-frame plain gob) still load, reporting epoch 0.
+const FrameVersion uint16 = 2
+
+// frameVersionV1 is the pre-epoch frame version, still accepted on read.
+const frameVersionV1 uint16 = 1
 
 // frameMagic opens every framed artifact.
 var frameMagic = [4]byte{'E', 'P', 'P', 'I'}
@@ -114,8 +119,8 @@ func ReadFrame(r io.Reader, want FrameKind) (FrameKind, []byte, error) {
 	if !bytes.Equal(hdr[0:4], frameMagic[:]) {
 		return 0, nil, ErrBadMagic
 	}
-	if v := binary.BigEndian.Uint16(hdr[4:6]); v != FrameVersion {
-		return 0, nil, fmt.Errorf("%w: file has v%d, this build reads v%d", ErrVersion, v, FrameVersion)
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != FrameVersion && v != frameVersionV1 {
+		return 0, nil, fmt.Errorf("%w: file has v%d, this build reads v%d and older", ErrVersion, v, FrameVersion)
 	}
 	kind := FrameKind(hdr[6])
 	if want != 0 && kind != want {
@@ -152,6 +157,11 @@ type Snapshot struct {
 	// (0 ≤ Shard < Shards). Both zero for an unsharded index.
 	Shard  int
 	Shards int
+	// Epoch is the publication epoch the snapshot belongs to. Re-published
+	// indexes carry increasing epochs so the serving tier can tell index
+	// versions apart; 0 means "never re-published" (and is what every
+	// pre-epoch snapshot reads as, since gob leaves absent fields zero).
+	Epoch uint64
 }
 
 // WriteTo serializes the server state: a checksummed, versioned frame
@@ -162,7 +172,7 @@ func (s *Server) WriteTo(w io.Writer) (int64, error) {
 		return 0, fmt.Errorf("index: encode matrix: %w", err)
 	}
 	var buf bytes.Buffer
-	snap := Snapshot{Matrix: raw, Names: s.names, Shard: s.shard, Shards: s.shards}
+	snap := Snapshot{Matrix: raw, Names: s.names, Shard: s.shard, Shards: s.shards, Epoch: s.epoch}
 	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
 		return 0, fmt.Errorf("index: encode snapshot: %w", err)
 	}
@@ -214,5 +224,6 @@ func decodeSnapshot(r io.Reader) (*Server, error) {
 			return nil, err
 		}
 	}
+	srv.SetEpoch(snap.Epoch)
 	return srv, nil
 }

@@ -26,6 +26,11 @@ type Manifest struct {
 	// was partitioned from.
 	Providers int
 	Owners    int
+	// Epoch is the publication epoch of the whole set. Every member
+	// snapshot carries the same epoch; LoadShard rejects a snapshot whose
+	// embedded epoch disagrees with the manifest (a mixed set would serve
+	// two index versions as one). Pre-epoch manifests read as 0.
+	Epoch uint64
 	// Files describes each shard snapshot, indexed by shard id.
 	Files []ShardFile
 }
@@ -47,8 +52,16 @@ func FileName(k int) string { return fmt.Sprintf("shard-%03d.idx", k) }
 
 // WriteSet partitions a published index into `of` shards and writes the
 // whole set under dir: shard-000.idx … shard-NNN.idx plus ManifestName.
-// It returns the manifest it wrote.
+// It returns the manifest it wrote. The set carries epoch 0; re-published
+// sets are written through WriteSetAt (or epoch.Publisher).
 func WriteSet(dir string, published *bitmat.Matrix, names []string, of int) (*Manifest, error) {
+	return WriteSetAt(dir, published, names, of, 0)
+}
+
+// WriteSetAt is WriteSet with an explicit publication epoch: every member
+// snapshot and the manifest are stamped with it, so a serving node (and
+// the gateway behind it) can tell which index version the set is.
+func WriteSetAt(dir string, published *bitmat.Matrix, names []string, of int, epoch uint64) (*Manifest, error) {
 	shards, err := Partition(published, names, of)
 	if err != nil {
 		return nil, err
@@ -60,9 +73,11 @@ func WriteSet(dir string, published *bitmat.Matrix, names []string, of int) (*Ma
 		Shards:    of,
 		Providers: published.Rows(),
 		Owners:    len(names),
+		Epoch:     epoch,
 		Files:     make([]ShardFile, of),
 	}
 	for k, srv := range shards {
+		srv.SetEpoch(epoch)
 		var buf bytes.Buffer
 		if _, err := srv.WriteTo(&buf); err != nil {
 			return nil, fmt.Errorf("shard %d: %w", k, err)
@@ -162,6 +177,9 @@ func (m *Manifest) LoadShard(dir string, k int) (*index.Server, error) {
 	id, of, sharded := srv.ShardInfo()
 	if !sharded || id != k || of != m.Shards {
 		return nil, fmt.Errorf("shard: %s claims shard %d/%d, manifest slot is %d/%d", sf.Name, id, of, k, m.Shards)
+	}
+	if srv.Epoch() != m.Epoch {
+		return nil, fmt.Errorf("shard: %s claims epoch %d, manifest says %d — mixed shard set", sf.Name, srv.Epoch(), m.Epoch)
 	}
 	return srv, nil
 }

@@ -91,5 +91,12 @@ func PartitionServer(full *index.Server, of int) ([]*index.Server, error) {
 	if _, _, sharded := full.ShardInfo(); sharded {
 		return nil, errors.New("shard: refusing to re-partition an already-sharded index")
 	}
-	return Partition(full.PublishedMatrix(), full.Names(), of)
+	parts, err := Partition(full.PublishedMatrix(), full.Names(), of)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		p.SetEpoch(full.Epoch())
+	}
+	return parts, nil
 }

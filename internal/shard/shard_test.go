@@ -3,6 +3,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -230,6 +231,120 @@ func TestManifestDetectsTruncatedShard(t *testing.T) {
 	}
 	if err := man.Verify(dir); !errors.Is(err, index.ErrTruncated) {
 		t.Fatalf("Verify on truncated shard = %v, want ErrTruncated", err)
+	}
+}
+
+func TestWriteSetAtStampsEpoch(t *testing.T) {
+	published, names := buildIndex(t, 10, 12)
+	dir := t.TempDir()
+	man, err := WriteSetAt(dir, published, names, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Epoch != 5 {
+		t.Fatalf("manifest epoch = %d, want 5", man.Epoch)
+	}
+	back, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Epoch != 5 {
+		t.Fatalf("reloaded manifest epoch = %d, want 5", back.Epoch)
+	}
+	for k := 0; k < 2; k++ {
+		srv, err := back.LoadShard(dir, k)
+		if err != nil {
+			t.Fatalf("load shard %d: %v", k, err)
+		}
+		if srv.Epoch() != 5 {
+			t.Fatalf("shard %d epoch = %d, want 5", k, srv.Epoch())
+		}
+	}
+}
+
+func TestLoadShardRejectsEpochMismatch(t *testing.T) {
+	// A manifest claiming one epoch over snapshots stamped with another is
+	// a mixed shard set — two index versions served as one. LoadShard must
+	// refuse it even though every checksum matches.
+	published, names := buildIndex(t, 10, 12)
+	dir := t.TempDir()
+	man, err := WriteSetAt(dir, published, names, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Epoch = 4
+	if err := man.write(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Verify(dir); err != nil {
+		t.Fatalf("checksums should still verify: %v", err)
+	}
+	if _, err := back.LoadShard(dir, 0); err == nil {
+		t.Fatal("epoch-disagreeing shard set loaded")
+	}
+}
+
+func TestPreEpochShardSetLoads(t *testing.T) {
+	// Shard sets written before the epoch field are version-1 frames with
+	// no epoch in manifest or snapshots. The frame checksum covers only the
+	// payload and gob omits zero fields, so rewriting a fresh epoch-0 set's
+	// version bytes to 1 reproduces a genuine legacy set byte for byte. It
+	// must load whole, everything reporting epoch 0.
+	published, names := buildIndex(t, 10, 12)
+	dir := t.TempDir()
+	man, err := WriteSet(dir, published, names, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch each member snapshot to a v1 frame and refresh the manifest's
+	// whole-file CRCs, exactly as a v1 writer would have recorded them.
+	for k, sf := range man.Files {
+		path := filepath.Join(dir, sf.Name)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[4], raw[5] = 0, 1 // frame version → 1
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		man.Files[k].CRC32 = crc32.ChecksumIEEE(raw)
+	}
+	if err := man.write(dir); err != nil {
+		t.Fatal(err)
+	}
+	manPath := filepath.Join(dir, ManifestName)
+	raw, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[4], raw[5] = 0, 1
+	if err := os.WriteFile(manPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("legacy manifest rejected: %v", err)
+	}
+	if back.Epoch != 0 {
+		t.Fatalf("legacy manifest epoch = %d, want 0", back.Epoch)
+	}
+	if err := back.Verify(dir); err != nil {
+		t.Fatalf("legacy set fails verify: %v", err)
+	}
+	for k := 0; k < 2; k++ {
+		srv, err := back.LoadShard(dir, k)
+		if err != nil {
+			t.Fatalf("legacy shard %d rejected: %v", k, err)
+		}
+		if srv.Epoch() != 0 {
+			t.Fatalf("legacy shard %d epoch = %d, want 0", k, srv.Epoch())
+		}
 	}
 }
 

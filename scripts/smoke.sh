@@ -5,24 +5,34 @@
 # and /v1/traces serves a non-empty Chrome trace whose root span is the
 # query request. Then boot the distributed layer — two eppi-serve shard
 # nodes plus eppi-gateway — and assert a routed lookup answers through
-# the gateway. Used by CI; runnable locally via `make smoke`.
+# the gateway. Finally exercise the epoch lifecycle: publish an epoch
+# store, boot a hot-reloading fleet from it, publish a second epoch
+# mid-run, and assert the fleet swaps and the gateway's answer changes.
+# Used by CI; runnable locally via `make smoke`.
 set -eu
 
 ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
 BASE="http://$ADDR"
 BIN="${SMOKE_BIN:-./eppi-serve-smoke}"
 GW_BIN="${SMOKE_GW_BIN:-./eppi-gateway-smoke}"
+CON_BIN="${SMOKE_CON_BIN:-./eppi-construct-smoke}"
 SHARD0_ADDR="${SMOKE_SHARD0_ADDR:-127.0.0.1:18081}"
 SHARD1_ADDR="${SMOKE_SHARD1_ADDR:-127.0.0.1:18082}"
 GW_ADDR="${SMOKE_GW_ADDR:-127.0.0.1:18090}"
+EP0_ADDR="${SMOKE_EP0_ADDR:-127.0.0.1:18083}"
+EP1_ADDR="${SMOKE_EP1_ADDR:-127.0.0.1:18084}"
+EPGW_ADDR="${SMOKE_EPGW_ADDR:-127.0.0.1:18091}"
 
 go build -o "$BIN" ./cmd/eppi-serve
 go build -o "$GW_BIN" ./cmd/eppi-gateway
+go build -o "$CON_BIN" ./cmd/eppi-construct
+
+STORE=$(mktemp -d)
 
 "$BIN" -addr "$ADDR" -providers 20 -owners 8 -log-format json &
 SERVER_PID=$!
 PIDS="$SERVER_PID"
-trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -f "$BIN" "$GW_BIN"' EXIT
+trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -f "$BIN" "$GW_BIN" "$CON_BIN"; rm -rf "$STORE"' EXIT
 
 # Wait for the server to come up (up to ~5s).
 i=0
@@ -126,6 +136,107 @@ curl -sf "http://$GW_ADDR/v1/metrics" | grep -q '^eppi_gateway_cache_hits_total 
   exit 1
 }
 echo "smoke: gateway ok"
+
+# --- Epoch lifecycle: publish, hot-swap, gateway invalidation -----------
+# Publish epoch 1 into a fresh store, boot a 2-shard hot-reloading fleet
+# plus a gateway over it, then publish epoch 2 mid-run (a re-publication
+# over a grown provider network) and assert: the nodes hot-swap without
+# restarting, the swap is counted, and the gateway's answer changes.
+"$CON_BIN" -providers 20 -owners 8 -shards 2 -epoch-dir "$STORE" >/dev/null
+[ "$(cat "$STORE/CURRENT")" = "1" ] || {
+  echo "smoke: CURRENT after first publish is $(cat "$STORE/CURRENT"), want 1" >&2
+  exit 1
+}
+
+"$BIN" -addr "$EP0_ADDR" -epoch-dir "$STORE" -shard 0/2 -epoch-poll 200ms -log-format json &
+PIDS="$PIDS $!"
+"$BIN" -addr "$EP1_ADDR" -epoch-dir "$STORE" -shard 1/2 -epoch-poll 200ms -log-format json &
+PIDS="$PIDS $!"
+for a in "$EP0_ADDR" "$EP1_ADDR"; do
+  i=0
+  until curl -sf "http://$a/v1/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+      echo "smoke: epoch node did not come up on $a" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  curl -sf "http://$a/v1/healthz" | grep -q '"epoch":1' || {
+    echo "smoke: epoch node on $a not at epoch 1: $(curl -sf "http://$a/v1/healthz")" >&2
+    exit 1
+  }
+done
+
+"$GW_BIN" -addr "$EPGW_ADDR" -shards "http://$EP0_ADDR;http://$EP1_ADDR" -probe 200ms -log-format json &
+PIDS="$PIDS $!"
+i=0
+until curl -sf "http://$EPGW_ADDR/v1/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "smoke: epoch gateway did not come up on $EPGW_ADDR" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+EPOCH1_OUT=$(curl -sf "http://$EPGW_ADDR/v1/query?owner=owner%3A%2F%2Fsite-0.example.org")
+echo "$EPOCH1_OUT" | grep -q '"providers"' || {
+  echo "smoke: epoch-1 gateway query missing providers: $EPOCH1_OUT" >&2
+  exit 1
+}
+echo "smoke: epoch 1 serving ok"
+
+# Publish epoch 2 with 10 more providers: same owners, different answers.
+"$CON_BIN" -providers 30 -owners 8 -shards 2 -epoch-dir "$STORE" >/dev/null
+[ "$(cat "$STORE/CURRENT")" = "2" ] || {
+  echo "smoke: CURRENT after second publish is $(cat "$STORE/CURRENT"), want 2" >&2
+  exit 1
+}
+
+# The nodes poll every 200ms; wait for both to report the swap.
+for a in "$EP0_ADDR" "$EP1_ADDR"; do
+  i=0
+  until curl -sf "http://$a/v1/healthz" | grep -q '"epoch":2'; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+      echo "smoke: node on $a never swapped to epoch 2" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+done
+for a in "$EP0_ADDR" "$EP1_ADDR"; do
+  curl -sf "http://$a/v1/metrics" | grep -q '^eppi_epoch 2' || {
+    echo "smoke: node on $a eppi_epoch gauge not at 2" >&2
+    exit 1
+  }
+  curl -sf "http://$a/v1/metrics" | grep -q '^eppi_epoch_swaps_total [1-9]' || {
+    echo "smoke: node on $a counted no epoch swap" >&2
+    exit 1
+  }
+done
+echo "smoke: fleet hot-swapped to epoch 2"
+
+# The gateway learns the new epoch from its probes; its cached epoch-1
+# answer must be invalidated and the fresh answer must differ.
+i=0
+until curl -sf "http://$EPGW_ADDR/v1/metrics" | grep -q '^eppi_gateway_epoch 2'; do
+  i=$((i + 1))
+  if [ "$i" -ge 100 ]; then
+    echo "smoke: gateway never observed epoch 2" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+EPOCH2_OUT=$(curl -sf "http://$EPGW_ADDR/v1/query?owner=owner%3A%2F%2Fsite-0.example.org")
+[ "$EPOCH2_OUT" != "$EPOCH1_OUT" ] || {
+  echo "smoke: gateway answer unchanged across epochs:" >&2
+  echo "  epoch 1: $EPOCH1_OUT" >&2
+  echo "  epoch 2: $EPOCH2_OUT" >&2
+  exit 1
+}
+echo "smoke: epoch swap visible through gateway"
 
 for p in $PIDS; do
   kill "$p" 2>/dev/null || true
