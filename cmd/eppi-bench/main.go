@@ -29,12 +29,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"context"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
+	"testing"
 	"time"
 
+	"repro/internal/audit"
+	"repro/internal/bitmat"
 	"repro/internal/experiments"
+	"repro/internal/index"
 	"repro/internal/metrics"
 )
 
@@ -162,13 +167,18 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
 	if *baseline != "" {
+		allocs, err := auditDisabledQueryAllocs()
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
 		if err := writeBaseline(*baseline, baselineDoc{
-			Seed:        *seed,
-			Quick:       *quick,
-			Workers:     *workers,
-			GoMaxProcs:  runtime.GOMAXPROCS(0),
-			Transport:   *transportName,
-			Experiments: timings,
+			Seed:                     *seed,
+			Quick:                    *quick,
+			Workers:                  *workers,
+			GoMaxProcs:               runtime.GOMAXPROCS(0),
+			Transport:                *transportName,
+			AuditDisabledQueryAllocs: allocs,
+			Experiments:              timings,
 		}); err != nil {
 			return fmt.Errorf("baseline: %w", err)
 		}
@@ -193,12 +203,45 @@ type baselineEntry struct {
 // enough run context to make later comparisons honest, plus the
 // per-experiment wall times.
 type baselineDoc struct {
-	Seed        int64           `json:"seed"`
-	Quick       bool            `json:"quick"`
-	Workers     int             `json:"workers"`
-	GoMaxProcs  int             `json:"gomaxprocs"`
-	Transport   string          `json:"transport"`
-	Experiments []baselineEntry `json:"experiments"`
+	Seed       int64  `json:"seed"`
+	Quick      bool   `json:"quick"`
+	Workers    int    `json:"workers"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Transport  string `json:"transport"`
+	// AuditDisabledQueryAllocs is the allocs/op of a served query with
+	// auditing disabled (nil sink) — contract: 0. The benchmark form
+	// lives in internal/audit (BenchmarkQueryAuditDisabled).
+	AuditDisabledQueryAllocs float64         `json:"audit_disabled_query_allocs"`
+	Experiments              []baselineEntry `json:"experiments"`
+}
+
+// auditDisabledQueryAllocs measures the audit-off query hot path the
+// same way internal/audit's zero-alloc test does: a tiny index whose
+// benchmark owner resolves to an empty column, queried with a nil
+// *audit.Sink recording each result. testing.AllocsPerRun is callable
+// outside tests, so the baseline file carries the number alongside the
+// wall times it contextualizes.
+func auditDisabledQueryAllocs() (float64, error) {
+	m := bitmat.MustNew(8, 2)
+	for r := 0; r < 8; r++ {
+		m.Set(r, 1, true)
+	}
+	srv, err := index.NewServer(m, []string{"owner://empty", "owner://full"})
+	if err != nil {
+		return 0, err
+	}
+	var sink *audit.Sink
+	ctx := context.Background()
+	var queryErr error
+	allocs := testing.AllocsPerRun(1000, func() {
+		res, err := srv.QueryCtx(ctx, "owner://empty")
+		if err != nil {
+			queryErr = err
+			return
+		}
+		sink.Record(audit.Entry{Route: "query", Owner: "owner://empty", Shard: -1, Epoch: 1, Results: len(res), Status: 200})
+	})
+	return allocs, queryErr
 }
 
 // writeBaseline writes doc as indented JSON.

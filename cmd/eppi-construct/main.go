@@ -22,7 +22,10 @@
 // set is written under epochs/<n>/ and the store's CURRENT pointer is
 // atomically flipped to the new epoch, so eppi-serve -epoch-dir nodes
 // hot-swap to it without restarting. Re-running the command against the
-// same store publishes the next epoch.
+// same store publishes the next epoch. Each epoch carries its ε-audit
+// privacy report (epochs/<n>/privacy.json, internal/privacy): the
+// achieved per-ε-decile false-positive protection of the published
+// matrix, re-derived from M vs M' rather than trusted from the β math.
 //
 // -trace records a span tree of the whole construction — β-phase,
 // SecSumShare, per-batch MPC with GMW/OT phases, mixing, publication —
@@ -42,6 +45,8 @@ import (
 	"repro/internal/index"
 	"repro/internal/logx"
 	"repro/internal/mathx"
+	"repro/internal/metrics"
+	"repro/internal/privacy"
 	"repro/internal/shard"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -72,6 +77,7 @@ func run(args []string, out io.Writer) error {
 	shards := fs.Int("shards", 0, "with -out or -epoch-dir: column-partition the index into this many shards + manifest")
 	epochDir := fs.String("epoch-dir", "", "publish the index as the next epoch of this epoch store (atomic CURRENT flip)")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the construction to this file")
+	metricsOut := fs.String("metrics-out", "", "write a Prometheus text exposition of the run (eppi_build_info, runtime gauges) to this file")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
@@ -126,10 +132,18 @@ func run(args []string, out io.Writer) error {
 		tracer = trace.New(1)
 		cfg.Tracer = tracer
 	}
+	// A batch job's metrics live in one terminal snapshot, not a scrape
+	// loop: the registry exists so construct runs are attributable the
+	// same way fleet scrapes are (eppi_build_info join).
+	reg := metrics.NewRegistry()
+	metrics.RegisterBuildInfo(reg)
+	metrics.RegisterRuntime(reg)
+	version, goVersion, revision := metrics.BuildInfo()
 	logger.Info("constructing",
 		slog.Int("providers", *providers), slog.Int("owners", *owners),
 		slog.String("policy", policy.String()), slog.String("mode", cfg.Mode.String()),
-		slog.Bool("traced", tracer != nil))
+		slog.Bool("traced", tracer != nil),
+		slog.String("build", version+"/"+goVersion+"/"+revision))
 	res, err := core.Construct(d.Matrix, d.Eps, cfg)
 	if err != nil {
 		return err
@@ -139,6 +153,18 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		logger.Info("trace written", slog.String("path", *tracePath))
+	}
+	// Audit what was actually constructed before anything is exported:
+	// the report re-derives the achieved FP protection from M vs M'
+	// (internal/privacy) and travels with every epoch publication.
+	rep, err := privacy.Compute(privacy.Input{
+		Truth: d.Matrix, Published: res.Published, Names: d.Names, Eps: d.Eps,
+		Thresholds: res.Thresholds, Hidden: res.Hidden,
+		Policy: policy.String(), Gamma: *gamma,
+		Lambda: res.Lambda, Xi: res.Xi,
+	})
+	if err != nil {
+		return fmt.Errorf("privacy audit: %w", err)
 	}
 	srv, err := index.NewServer(res.Published, d.Names)
 	if err != nil {
@@ -153,18 +179,26 @@ func run(args []string, out io.Writer) error {
 			n = 1
 		}
 		pub := epoch.Publisher{Root: *epochDir}
-		e, err := pub.Publish(srv.PublishedMatrix(), srv.Names(), n)
+		e, err := pub.PublishWithReport(srv.PublishedMatrix(), srv.Names(), n, rep)
 		if err != nil {
 			return fmt.Errorf("publish epoch: %w", err)
 		}
 		logger.Info("epoch published", slog.String("dir", *epochDir),
-			slog.Uint64("epoch", e), slog.Int("shards", n))
+			slog.Uint64("epoch", e), slog.Int("shards", n),
+			slog.Float64("success_ratio", rep.SuccessRatio),
+			slog.Int("privacy_violations", rep.ViolationCount))
 	} else if *outPath != "" {
 		if err := export(*outPath, *shards, srv, logger); err != nil {
 			return err
 		}
 	} else if *shards > 0 {
 		return fmt.Errorf("-shards %d needs -out naming the shard-set directory", *shards)
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			return err
+		}
+		logger.Info("metrics snapshot written", slog.String("path", *metricsOut))
 	}
 
 	fmt.Fprintf(out, "constructed ε-PPI: m=%d providers, n=%d owners, policy=%s, mode=%s\n",
@@ -181,6 +215,8 @@ func run(args []string, out io.Writer) error {
 	truePositives := d.Matrix.Count()
 	fmt.Fprintf(out, "  search cost:    %d published positives (%d true, %.2fx overhead)\n",
 		srv.SearchCost(), truePositives, float64(srv.SearchCost())/float64(truePositives))
+	fmt.Fprintf(out, "  privacy audit:  success ratio %.4f, %d Eq.1 violations\n",
+		rep.SuccessRatio, rep.ViolationCount)
 	if res.Secure != nil {
 		s := res.Secure
 		fmt.Fprintf(out, "  SecSumShare:    %d msgs, %d bytes, %d rounds\n", s.SecSum.Messages, s.SecSum.Bytes, s.SecSumRounds)
@@ -228,6 +264,20 @@ func export(path string, shards int, srv *index.Server, logger *slog.Logger) err
 	logger.Info("index written", slog.String("path", path),
 		slog.Int("owners", srv.Owners()))
 	return nil
+}
+
+// writeMetrics dumps the run's Prometheus exposition to a file — the
+// batch-job analogue of a /v1/metrics scrape.
+func writeMetrics(path string, reg *metrics.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if _, err := reg.WriteTo(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics: %w", err)
+	}
+	return f.Close()
 }
 
 // writeTrace exports the tracer's recorded construction trace as Chrome

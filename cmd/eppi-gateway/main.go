@@ -44,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/gateway"
 	"repro/internal/httpapi"
@@ -78,6 +79,9 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	probePeriod := fs.Duration("probe", gateway.DefaultProbePeriod, "health probe interval (negative: off)")
 	withMetrics := fs.Bool("metrics", true, "expose GET /v1/metrics")
 	traceCap := fs.Int("trace", trace.DefaultCapacity, "recent-trace ring capacity for GET /v1/traces (0 disables)")
+	auditDir := fs.String("audit-dir", "", "write a checksummed JSONL query audit log into this directory (empty: auditing off)")
+	hotWindow := fs.Duration("hot-window", time.Minute, "hot-owner detection decay window")
+	hotThreshold := fs.Int("hot-threshold", 0, "flag an owner queried this often within a decay window (0: off)")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	selfbench := fs.Int("selfbench", 0, "run N lookups against a self-contained demo fleet and exit")
@@ -94,20 +98,31 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		return err
 	}
 	cfg := gateway.Config{
-		CacheSize:   *cacheSize,
-		CacheTTL:    *cacheTTL,
-		MaxInFlight: *maxInFlight,
-		QueueWait:   *queueWait,
-		HedgeAfter:  *hedgeAfter,
-		ProbePeriod: *probePeriod,
-		Logger:      logger,
+		CacheSize:    *cacheSize,
+		CacheTTL:     *cacheTTL,
+		MaxInFlight:  *maxInFlight,
+		QueueWait:    *queueWait,
+		HedgeAfter:   *hedgeAfter,
+		ProbePeriod:  *probePeriod,
+		HotWindow:    *hotWindow,
+		HotThreshold: *hotThreshold,
+		Logger:       logger,
 	}
 	if *withMetrics {
 		cfg.Registry = metrics.NewRegistry()
 		metrics.RegisterRuntime(cfg.Registry)
+		metrics.RegisterBuildInfo(cfg.Registry)
 	}
 	if *traceCap > 0 {
 		cfg.Tracer = trace.New(*traceCap)
+	}
+	if *auditDir != "" {
+		sink, err := audit.Open(*auditDir, audit.Options{Registry: cfg.Registry, Logger: logger})
+		if err != nil {
+			return fmt.Errorf("audit log: %w", err)
+		}
+		defer sink.Close()
+		cfg.Audit = sink
 	}
 
 	if *selfbench > 0 {

@@ -32,8 +32,15 @@
 // in /v1/healthz, /v1/metrics (eppi_shard_id / eppi_shard_count) and span
 // attributes.
 //
+// Privacy telemetry: the node serves its epoch's ε-audit report at
+// GET /v1/privacy (published as epochs/<n>/privacy.json by the
+// constructing side; the demo index audits itself in-process), and
+// -audit-dir enables the checksummed JSONL query audit log
+// (internal/audit) recording per-query owner, shard, epoch, trace id
+// and result cardinality.
+//
 // Endpoints: GET /v1/query?owner=…, GET /v1/search?q=…, GET /v1/stats,
-// GET /v1/healthz, (unless -metrics=false) GET /v1/metrics in Prometheus
+// GET /v1/privacy, GET /v1/healthz, (unless -metrics=false) GET /v1/metrics in Prometheus
 // text format, (unless -trace=0) GET /v1/traces serving recent request
 // traces as Chrome trace-event JSON (load it in Perfetto; ?format=text
 // for an indented tree), and (with -pprof) the net/http/pprof handlers
@@ -52,6 +59,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -64,6 +72,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/httpapi"
@@ -71,6 +80,7 @@ import (
 	"repro/internal/logx"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
+	"repro/internal/privacy"
 	"repro/internal/shard"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -102,6 +112,7 @@ func run(ctx context.Context, args []string) error {
 	withMetrics := fs.Bool("metrics", true, "expose GET /v1/metrics and instrument the index")
 	traceCap := fs.Int("trace", trace.DefaultCapacity, "recent-trace ring capacity for GET /v1/traces (0 disables tracing)")
 	withPprof := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	auditDir := fs.String("audit-dir", "", "write a checksummed JSONL query audit log into this directory (empty: auditing off)")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
@@ -113,6 +124,7 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	var srv *index.Server
+	var rep *privacy.Report
 	var servedEpoch uint64
 	shardID, shardOf := 0, 1
 	if *epochDir != "" {
@@ -127,7 +139,8 @@ func run(ctx context.Context, args []string) error {
 		if srv, servedEpoch, err = epoch.Load(*epochDir, shardID, shardOf); err != nil {
 			return fmt.Errorf("epoch store %q: %w", *epochDir, err)
 		}
-	} else if srv, err = loadOrBuild(*indexPath, *shardSpec, *providers, *owners, *seed); err != nil {
+		rep = loadEpochReport(logger, *epochDir, servedEpoch)
+	} else if srv, rep, err = loadOrBuild(*indexPath, *shardSpec, *providers, *owners, *seed); err != nil {
 		return err
 	}
 	var reg *metrics.Registry
@@ -135,6 +148,7 @@ func run(ctx context.Context, args []string) error {
 	if *withMetrics {
 		reg = metrics.NewRegistry()
 		metrics.RegisterRuntime(reg)
+		metrics.RegisterBuildInfo(reg)
 		opts = append(opts, httpapi.WithMetrics(reg))
 	}
 	var tracer *trace.Tracer
@@ -142,10 +156,19 @@ func run(ctx context.Context, args []string) error {
 		tracer = trace.New(*traceCap)
 		opts = append(opts, httpapi.WithTracer(tracer))
 	}
+	if *auditDir != "" {
+		sink, err := audit.Open(*auditDir, audit.Options{Registry: reg, Logger: logger})
+		if err != nil {
+			return fmt.Errorf("audit log: %w", err)
+		}
+		defer sink.Close()
+		opts = append(opts, httpapi.WithAudit(sink))
+	}
 	handler, err := httpapi.NewHandler(srv, opts...)
 	if err != nil {
 		return err
 	}
+	handler.SetReport(rep)
 	var watcherWG sync.WaitGroup
 	if *epochDir != "" {
 		// Hot re-publication: poll the store and swap the served snapshot
@@ -158,7 +181,15 @@ func run(ctx context.Context, args []string) error {
 			Period: *epochPoll,
 			Logger: logger,
 			Tracer: tracer,
-			OnSwap: func(next *index.Server, n uint64) error { return handler.Swap(next) },
+			OnSwap: func(next *index.Server, n uint64) error {
+				if err := handler.Swap(next); err != nil {
+					return err
+				}
+				// The report is advisory: a report-less epoch swaps in fine,
+				// it just answers /v1/privacy with 404 until one appears.
+				handler.SetReport(loadEpochReport(logger, *epochDir, n))
+				return nil
+			},
 		}
 		watcherWG.Add(1)
 		go func() {
@@ -258,66 +289,104 @@ func parseShardSpec(spec string) (k, of int, err error) {
 	return k, of, nil
 }
 
-func loadOrBuild(path, shardSpec string, providers, owners int, seed int64) (*index.Server, error) {
+// loadEpochReport fetches an epoch's privacy report. The report is
+// advisory: a store published before reports existed serves fine, it
+// just answers /v1/privacy with 404.
+func loadEpochReport(logger *slog.Logger, root string, n uint64) *privacy.Report {
+	rep, err := epoch.LoadReportAt(root, n)
+	switch {
+	case err == nil:
+		return rep
+	case errors.Is(err, epoch.ErrNoReport):
+		logger.Info("epoch has no privacy report", slog.Uint64("epoch", n))
+	default:
+		// A present-but-broken report is worth a louder line: something
+		// tampered with or corrupted the store.
+		logger.Warn("privacy report rejected", slog.Uint64("epoch", n), slog.Any("error", err))
+	}
+	return nil
+}
+
+func loadOrBuild(path, shardSpec string, providers, owners int, seed int64) (*index.Server, *privacy.Report, error) {
 	var shardID, shardOf int
 	sharded := shardSpec != ""
 	if sharded {
 		var err error
 		if shardID, shardOf, err = parseShardSpec(shardSpec); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if path != "" {
 		info, err := os.Stat(path)
 		if err != nil {
-			return nil, fmt.Errorf("open index: %w", err)
+			return nil, nil, fmt.Errorf("open index: %w", err)
 		}
 		if info.IsDir() {
-			return loadFromManifest(path, shardSpec, sharded, shardID, shardOf)
+			srv, err := loadFromManifest(path, shardSpec, sharded, shardID, shardOf)
+			return srv, nil, err
 		}
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, fmt.Errorf("open index: %w", err)
+			return nil, nil, fmt.Errorf("open index: %w", err)
 		}
 		defer f.Close()
 		srv, err := index.Read(f)
 		if err != nil {
-			return nil, fmt.Errorf("load index %q: %w", path, err)
+			return nil, nil, fmt.Errorf("load index %q: %w", path, err)
 		}
 		if sharded {
 			id, of, ok := srv.ShardInfo()
 			if !ok {
-				return nil, fmt.Errorf("index %q is unsharded but -shard %s was given", path, shardSpec)
+				return nil, nil, fmt.Errorf("index %q is unsharded but -shard %s was given", path, shardSpec)
 			}
 			if id != shardID || of != shardOf {
-				return nil, fmt.Errorf("index %q holds shard %d/%d, not the requested %s", path, id, of, shardSpec)
+				return nil, nil, fmt.Errorf("index %q holds shard %d/%d, not the requested %s", path, id, of, shardSpec)
 			}
 		}
-		return srv, nil
+		// Exported index files carry only public state — no truth matrix,
+		// so no report to audit against.
+		return srv, nil, nil
 	}
 	d, err := workload.GenerateZipf(workload.ZipfConfig{
 		Providers: providers, Owners: owners, Exponent: 1.1, Seed: seed,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res, err := core.Construct(d.Matrix, d.Eps, core.Config{
 		Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted, Seed: seed,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	// The demo build has the truth matrix in hand, so it can audit
+	// itself like a real publisher would; Sealed gives the in-memory
+	// report the checksum clients verify on fetch.
+	rep, err := privacy.Compute(privacy.Input{
+		Truth: d.Matrix, Published: res.Published, Names: d.Names, Eps: d.Eps,
+		Thresholds: res.Thresholds, Hidden: res.Hidden,
+		Policy: mathx.PolicyChernoff.String(), Gamma: 0.9,
+		Lambda: res.Lambda, Xi: res.Xi,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if rep, err = privacy.Sealed(rep, 0); err != nil {
+		return nil, nil, err
 	}
 	if !sharded {
-		return index.NewServer(res.Published, d.Names)
+		srv, err := index.NewServer(res.Published, d.Names)
+		return srv, rep, err
 	}
 	// Construction is deterministic under seed (PR 3), so independent
 	// eppi-serve processes with the same demo parameters agree on the
-	// partition — no shared files needed to stand up a demo fleet.
+	// partition — no shared files needed to stand up a demo fleet. Every
+	// shard serves the same full-index report, like epoch stores do.
 	parts, err := shard.Partition(res.Published, d.Names, shardOf)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return parts[shardID], nil
+	return parts[shardID], rep, nil
 }
 
 // loadFromManifest serves shard k/of out of a shard-set directory written

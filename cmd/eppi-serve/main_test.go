@@ -24,12 +24,23 @@ import (
 )
 
 func TestLoadOrBuildDemo(t *testing.T) {
-	srv, err := loadOrBuild("", "", 20, 8, 1)
+	srv, rep, err := loadOrBuild("", "", 20, 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if srv.Providers() != 20 || srv.Owners() != 8 {
 		t.Fatalf("dims %dx%d", srv.Providers(), srv.Owners())
+	}
+	// The demo index audits itself, and the in-memory report must be
+	// sealed (checksummed) so /v1/privacy clients can verify it.
+	if rep == nil {
+		t.Fatal("demo build has no privacy report")
+	}
+	if rep.Checksum == "" {
+		t.Error("demo privacy report is not sealed")
+	}
+	if rep.Identities != 8 || rep.Providers != 20 {
+		t.Errorf("report dims %dx%d", rep.Providers, rep.Identities)
 	}
 }
 
@@ -57,7 +68,7 @@ func TestLoadOrBuildFromFile(t *testing.T) {
 	if err := os.WriteFile(path, buf.Bytes(), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := loadOrBuild(path, "", 0, 0, 0)
+	loaded, _, err := loadOrBuild(path, "", 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +104,7 @@ func waitServe(t *testing.T, done chan error) {
 }
 
 func TestServeEndToEnd(t *testing.T) {
-	srv, err := loadOrBuild("", "", 10, 4, 5)
+	srv, _, err := loadOrBuild("", "", 10, 4, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +131,7 @@ func TestServeMetricsEndpoint(t *testing.T) {
 	// The wiring eppi-serve sets up with -metrics (the default): a registry
 	// through WithMetrics instruments both the middleware and the index, and
 	// /v1/metrics serves the exposition.
-	srv, err := loadOrBuild("", "", 10, 4, 5)
+	srv, _, err := loadOrBuild("", "", 10, 4, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,14 +213,14 @@ func TestServeDrainsInflightRequests(t *testing.T) {
 func TestLoadOrBuildDemoShard(t *testing.T) {
 	// Two independent loads of the same demo shard agree (deterministic
 	// construction), and the shards partition the full demo index.
-	full, err := loadOrBuild("", "", 20, 8, 1)
+	full, _, err := loadOrBuild("", "", 20, 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	total := 0
 	for k := 0; k < 2; k++ {
 		spec := []string{"0/2", "1/2"}[k]
-		srv, err := loadOrBuild("", spec, 20, 8, 1)
+		srv, _, err := loadOrBuild("", spec, 20, 8, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -240,7 +251,7 @@ func TestLoadOrBuildDemoShard(t *testing.T) {
 func TestLoadOrBuildFromManifestDir(t *testing.T) {
 	// Export a shard set the way eppi-construct -shards does, then load
 	// one shard through the serve path.
-	full, err := loadOrBuild("", "", 12, 6, 3)
+	full, _, err := loadOrBuild("", "", 12, 6, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +259,7 @@ func TestLoadOrBuildFromManifestDir(t *testing.T) {
 	if _, err := shard.WriteSet(dir, full.PublishedMatrix(), full.Names(), 2); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := loadOrBuild(dir, "1/2", 0, 0, 0)
+	srv, _, err := loadOrBuild(dir, "1/2", 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,10 +267,10 @@ func TestLoadOrBuildFromManifestDir(t *testing.T) {
 		t.Fatalf("ShardInfo = %d/%d (%v)", id, of, sharded)
 	}
 	// Wrong shard count and missing -shard are rejected.
-	if _, err := loadOrBuild(dir, "0/3", 0, 0, 0); err == nil {
+	if _, _, err := loadOrBuild(dir, "0/3", 0, 0, 0); err == nil {
 		t.Error("manifest with 2 shards served -shard 0/3")
 	}
-	if _, err := loadOrBuild(dir, "", 0, 0, 0); err == nil {
+	if _, _, err := loadOrBuild(dir, "", 0, 0, 0); err == nil {
 		t.Error("directory index loaded without -shard")
 	}
 }
@@ -346,14 +357,14 @@ func (b *syncBuffer) String() string {
 }
 
 func TestLoadOrBuildErrors(t *testing.T) {
-	if _, err := loadOrBuild(filepath.Join(t.TempDir(), "missing.bin"), "", 0, 0, 0); err == nil {
+	if _, _, err := loadOrBuild(filepath.Join(t.TempDir(), "missing.bin"), "", 0, 0, 0); err == nil {
 		t.Error("missing index file accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.bin")
 	if err := os.WriteFile(bad, []byte("garbage"), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadOrBuild(bad, "", 0, 0, 0); err == nil {
+	if _, _, err := loadOrBuild(bad, "", 0, 0, 0); err == nil {
 		t.Error("garbage index file accepted")
 	}
 }

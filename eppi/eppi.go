@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/mathx"
+	"repro/internal/privacy"
 	"repro/internal/provider"
 	"repro/internal/searcher"
 	"repro/internal/trace"
@@ -82,9 +83,10 @@ var (
 type Network struct {
 	providers []*provider.Provider
 
-	mu     sync.Mutex
-	server *index.Server
-	report *ConstructionReport
+	mu      sync.Mutex
+	server  *index.Server
+	report  *ConstructionReport
+	privacy *privacy.Report
 }
 
 // NewNetwork creates a network with one provider per name.
@@ -337,11 +339,43 @@ func (n *Network) ConstructPPI(opts ...Option) (*ConstructionReport, error) {
 			Hidden:  res.Hidden[j],
 		})
 	}
+	// Audit the artifact we just built: re-derive the achieved privacy
+	// from M vs M' (internal/privacy). This runs where the truth matrix
+	// legitimately lives — inside the provider network — and only the
+	// aggregate report ever leaves with the published index.
+	priv, err := privacy.Compute(privacy.Input{
+		Truth:      truth,
+		Published:  res.Published,
+		Names:      names,
+		Eps:        eps,
+		Thresholds: res.Thresholds,
+		Hidden:     res.Hidden,
+		Policy:     o.cfg.Policy.String(),
+		Gamma:      o.cfg.Gamma,
+		Lambda:     res.Lambda,
+		Xi:         res.Xi,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eppi: privacy audit: %w", err)
+	}
+
 	n.mu.Lock()
 	n.server = server
 	n.report = report
+	n.privacy = priv
 	n.mu.Unlock()
 	return report, nil
+}
+
+// PrivacyReport returns the ε-audit report of the last ConstructPPI run
+// (nil before construction): the achieved false-positive protection of
+// the published matrix measured against the configured policy. It is
+// published alongside each epoch by PublishEpoch and served by nodes at
+// GET /v1/privacy.
+func (n *Network) PrivacyReport() *privacy.Report {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.privacy
 }
 
 // Query implements QueryPPI(t_j): the ids of providers that may hold the

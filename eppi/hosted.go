@@ -50,15 +50,18 @@ func (n *Network) WriteShardSet(dir string, shards int) (*shard.Manifest, error)
 // epoch store rooted at root (internal/epoch): the shard set lands under
 // epochs/<n>/ and the store's CURRENT pointer is flipped atomically, so
 // serving nodes watching the store hot-swap to the new version without a
-// restart. Returns the epoch number published. Like WriteShardSet, only
-// public state leaves the provider network. It fails before ConstructPPI.
+// restart. The construction's ε-audit report travels with the shard set
+// as epochs/<n>/privacy.json. Returns the epoch number published. Like
+// WriteShardSet, only public state leaves the provider network (the
+// report carries aggregates, never per-identity frequencies). It fails
+// before ConstructPPI.
 func (n *Network) PublishEpoch(root string, shards int) (uint64, error) {
 	srv, err := n.serverHandle()
 	if err != nil {
 		return 0, err
 	}
 	pub := epoch.Publisher{Root: root}
-	e, err := pub.Publish(srv.PublishedMatrix(), srv.Names(), shards)
+	e, err := pub.PublishWithReport(srv.PublishedMatrix(), srv.Names(), shards, n.PrivacyReport())
 	if err != nil {
 		return 0, fmt.Errorf("eppi: publish epoch: %w", err)
 	}

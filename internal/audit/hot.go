@@ -1,0 +1,140 @@
+package audit
+
+import (
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// HotTracker flags owners queried anomalously often — the live form of
+// the paper's common-identity attack is an attacker probing the index
+// owner by owner to estimate frequencies, and a single scraped victim
+// shows up the same way. It keeps an exact per-owner counter with
+// periodic halving decay: every window the counts halve, so sustained
+// pressure stays hot while a one-off burst ages out in a few windows.
+// Memory is bounded: at most maxOwners distinct owners are tracked,
+// and owners whose count decays to zero are pruned.
+//
+// A nil *HotTracker is the disabled state; Observe on it no-ops.
+type HotTracker struct {
+	mu          sync.Mutex
+	window      time.Duration
+	threshold   uint32
+	maxOwners   int
+	counts      map[string]uint32
+	hot         int
+	windowStart time.Time
+
+	gauge   *metrics.Gauge   // eppi_audit_hot_owners
+	flagged *metrics.Counter // eppi_audit_hot_flagged_total
+	logger  *slog.Logger
+}
+
+// defaultMaxOwners bounds tracked owners. An attacker spraying unique
+// owner names cannot balloon the tracker — and spraying uniques is the
+// opposite of the repeated-probe pattern this watches for.
+const defaultMaxOwners = 65536
+
+// NewHotTracker returns a tracker flagging owners that accumulate
+// threshold observations within a decay window. threshold < 1 or
+// window <= 0 disables tracking (returns nil).
+func NewHotTracker(window time.Duration, threshold int, reg *metrics.Registry, logger *slog.Logger) *HotTracker {
+	if threshold < 1 || window <= 0 {
+		return nil
+	}
+	h := &HotTracker{
+		window:    window,
+		threshold: uint32(threshold),
+		maxOwners: defaultMaxOwners,
+		counts:    make(map[string]uint32),
+		logger:    logger,
+	}
+	if reg != nil {
+		h.gauge = reg.Gauge("eppi_audit_hot_owners", "Owners currently above the hot-query threshold.")
+		h.flagged = reg.Counter("eppi_audit_hot_flagged_total", "Hot-owner threshold crossings (scanning suspects flagged).")
+	}
+	return h
+}
+
+// Observe counts one query of owner and reports whether the owner is
+// currently hot (at or above threshold).
+func (h *HotTracker) Observe(owner string) bool {
+	if h == nil {
+		return false
+	}
+	return h.observeAt(owner, time.Now())
+}
+
+func (h *HotTracker) observeAt(owner string, now time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.windowStart.IsZero() {
+		h.windowStart = now
+	}
+	for now.Sub(h.windowStart) >= h.window {
+		h.decayLocked()
+		h.windowStart = h.windowStart.Add(h.window)
+		if len(h.counts) == 0 {
+			// Nothing left to decay; jump the window to now instead of
+			// replaying an idle gap one period at a time.
+			h.windowStart = now
+			break
+		}
+	}
+	c, tracked := h.counts[owner]
+	if !tracked && len(h.counts) >= h.maxOwners {
+		// Full: refuse new owners rather than evicting live counts.
+		return false
+	}
+	c++
+	h.counts[owner] = c
+	if c == h.threshold {
+		h.hot++
+		h.gauge.Set(float64(h.hot))
+		h.flagged.Inc()
+		if h.logger != nil {
+			h.logger.Warn("audit: hot owner — possible scan",
+				slog.String("owner", owner),
+				slog.Uint64("count", uint64(c)),
+				slog.Duration("window", h.window))
+		}
+	}
+	return c >= h.threshold
+}
+
+// decayLocked halves every count, pruning zeros and demoting owners
+// that fall below threshold.
+func (h *HotTracker) decayLocked() {
+	for owner, c := range h.counts {
+		half := c / 2
+		if half == 0 {
+			delete(h.counts, owner)
+		} else {
+			h.counts[owner] = half
+		}
+		if c >= h.threshold && half < h.threshold {
+			h.hot--
+		}
+	}
+	h.gauge.Set(float64(h.hot))
+}
+
+// HotOwners returns the currently-hot owners, sorted.
+func (h *HotTracker) HotOwners() []string {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []string
+	for owner, c := range h.counts {
+		if c >= h.threshold {
+			out = append(out, owner)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,105 @@
+package audit
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// marshalEntry is the one encoding both writer and reader agree on.
+func marshalEntry(e Entry) ([]byte, error) {
+	return json.Marshal(e)
+}
+
+// ScanStats counts what a read pass saw.
+type ScanStats struct {
+	// Lines is the number of intact records delivered.
+	Lines int
+	// Corrupt is the number of lines that failed framing, CRC, or JSON
+	// decoding — torn tails, bit rot, or foreign content.
+	Corrupt int
+}
+
+// Scan reads framed audit records from r, calling fn for each intact
+// one. Corrupt lines are counted and skipped, never fatal: an audit
+// log damaged in one place keeps every other record usable. fn
+// returning an error stops the scan.
+func Scan(r io.Reader, fn func(Entry) error) (ScanStats, error) {
+	var st ScanStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		sp := bytes.IndexByte(line, ' ')
+		if sp != 8 {
+			st.Corrupt++
+			continue
+		}
+		var want uint32
+		if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+			st.Corrupt++
+			continue
+		}
+		body := line[9:]
+		if crc32.ChecksumIEEE(body) != want {
+			st.Corrupt++
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(body, &e); err != nil {
+			st.Corrupt++
+			continue
+		}
+		st.Lines++
+		if err := fn(e); err != nil {
+			return st, err
+		}
+	}
+	return st, sc.Err()
+}
+
+// ScanFile scans one audit file.
+func ScanFile(path string, fn func(Entry) error) (ScanStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ScanStats{}, fmt.Errorf("audit: %w", err)
+	}
+	defer f.Close()
+	return Scan(f, fn)
+}
+
+// ScanDir scans every audit file in dir in rotation order.
+func ScanDir(dir string, fn func(Entry) error) (ScanStats, error) {
+	files, err := Files(dir)
+	if err != nil {
+		return ScanStats{}, err
+	}
+	var total ScanStats
+	for _, path := range files {
+		st, err := ScanFile(path, fn)
+		total.Lines += st.Lines
+		total.Corrupt += st.Corrupt
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReadDir loads every intact record of dir into memory — convenience
+// for tests and small logs; the analyzer streams with ScanDir.
+func ReadDir(dir string) ([]Entry, ScanStats, error) {
+	var out []Entry
+	st, err := ScanDir(dir, func(e Entry) error {
+		out = append(out, e)
+		return nil
+	})
+	return out, st, err
+}

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/bitmat"
 	"repro/internal/index"
+	"repro/internal/privacy"
 	"repro/internal/shard"
 )
 
@@ -101,6 +102,28 @@ func LoadAt(root string, n uint64, k, of int) (*index.Server, error) {
 	return srv, nil
 }
 
+// ErrNoReport reports an epoch published without a privacy report —
+// a pre-report store or a report-less publisher, not corruption.
+var ErrNoReport = errors.New("epoch: no privacy report")
+
+// LoadReportAt loads and verifies epoch n's privacy report, rejecting
+// a report whose own epoch stamp disagrees with the directory it sits
+// in (a copied or misplaced file). Absence is ErrNoReport so callers
+// can serve older epochs degraded rather than refusing them.
+func LoadReportAt(root string, n uint64) (*privacy.Report, error) {
+	rep, err := privacy.ReadFile(Dir(root, n))
+	if err != nil {
+		if os.IsNotExist(err) || errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: epoch %d", ErrNoReport, n)
+		}
+		return nil, fmt.Errorf("epoch %d: %w", n, err)
+	}
+	if rep.Epoch != n {
+		return nil, fmt.Errorf("epoch %d: privacy report claims epoch %d — misplaced report", n, rep.Epoch)
+	}
+	return rep, nil
+}
+
 // Load resolves CURRENT and loads shard k/of of the active epoch,
 // returning the epoch number alongside the server.
 func Load(root string, k, of int) (*index.Server, uint64, error) {
@@ -129,6 +152,15 @@ type Publisher struct {
 // either the old epoch fully active or the new one — never a torn store.
 // It returns the epoch number it published.
 func (p *Publisher) Publish(published *bitmat.Matrix, names []string, shards int) (uint64, error) {
+	return p.PublishWithReport(published, names, shards, nil)
+}
+
+// PublishWithReport is Publish carrying a privacy audit report: the
+// report is sealed for the new epoch number and written as privacy.json
+// inside the epoch directory, so it travels with the shard set it
+// audits — same temp-dir assembly, same atomic visibility. A nil report
+// publishes without one (legacy stores and report-less callers).
+func (p *Publisher) PublishWithReport(published *bitmat.Matrix, names []string, shards int, rep *privacy.Report) (uint64, error) {
 	if shards < 1 {
 		return 0, fmt.Errorf("epoch: bad shard count %d", shards)
 	}
@@ -154,6 +186,11 @@ func (p *Publisher) Publish(published *bitmat.Matrix, names []string, shards int
 	}
 	if _, err := shard.WriteSetAt(tmp, published, names, shards, next); err != nil {
 		return 0, err
+	}
+	if rep != nil {
+		if err := privacy.WriteFile(tmp, rep, next); err != nil {
+			return 0, err
+		}
 	}
 	final := Dir(p.Root, next)
 	// A leftover from a publish that crashed after the rename but before

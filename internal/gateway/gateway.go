@@ -41,9 +41,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/httpapi"
 	"repro/internal/index"
 	"repro/internal/metrics"
+	"repro/internal/privacy"
 	"repro/internal/shard"
 	"repro/internal/trace"
 )
@@ -96,6 +98,16 @@ type Config struct {
 	Tracer *trace.Tracer
 	// Logger receives health-transition and shed logs; nil discards.
 	Logger *slog.Logger
+	// Audit, when non-nil, records every routed query and search into
+	// the audit log (internal/audit). The gateway is the natural audit
+	// point: it sees the whole query stream, cache hits included.
+	Audit *audit.Sink
+	// HotWindow and HotThreshold arm the hot-owner tracker: an owner
+	// queried HotThreshold times within a halving-decay window is
+	// flagged as a scanning suspect (eppi_audit_hot_owners, warn log).
+	// Either zero disables tracking.
+	HotWindow    time.Duration
+	HotThreshold int
 }
 
 // Gateway routes locator queries across shard nodes. Create with New;
@@ -112,6 +124,8 @@ type Gateway struct {
 	logger  *slog.Logger
 	mux     *http.ServeMux
 	inst    instruments
+	sink    *audit.Sink
+	hot     *audit.HotTracker
 	probeWG sync.WaitGroup
 	stop    context.CancelFunc
 
@@ -172,6 +186,8 @@ func New(cfg Config) (*Gateway, error) {
 		tracer: cfg.Tracer,
 		reg:    cfg.Registry,
 		logger: logger,
+		sink:   cfg.Audit,
+		hot:    audit.NewHotTracker(cfg.HotWindow, cfg.HotThreshold, cfg.Registry, logger),
 	}
 	g.gate = newGate(maxInFlight, queueWait)
 	if g.reg != nil {
@@ -504,6 +520,81 @@ func (g *Gateway) searchAll(ctx context.Context, q string, limit int) ([]index.M
 	}
 	sp.SetInt("matches", len(merged))
 	return merged, maxEpoch, nil
+}
+
+// PrivacyAggregate is the gateway's fleet-wide /v1/privacy payload.
+// Every shard of one epoch serves the same full-index report (the
+// publisher audits the whole matrix, each shard carries a copy), so
+// the aggregate is the newest report seen plus a per-shard epoch map
+// that shows whether the fleet agrees.
+type PrivacyAggregate struct {
+	// Status: "ok" (every shard served the same report epoch),
+	// "mixed" (shards answered from different epochs — fleet mid-swap),
+	// "degraded" (some shard had no report or was unreachable).
+	Status string `json:"status"`
+	// Epochs is the report epoch each shard answered with; 0 = none.
+	Epochs []uint64 `json:"epochs"`
+	// HotOwners lists owners currently flagged by the gateway's
+	// hot-query tracker — live scanning suspects.
+	HotOwners []string `json:"hot_owners,omitempty"`
+	// Report is the newest verified report across the fleet.
+	Report *privacy.Report `json:"report,omitempty"`
+}
+
+// AggregatePrivacy fetches and verifies the privacy report from one
+// answering replica per shard and folds them into the fleet view.
+func (g *Gateway) AggregatePrivacy(ctx context.Context) PrivacyAggregate {
+	ctx, sp := trace.StartChild(ctx, "gateway.privacy_fanout")
+	defer sp.End()
+	out := PrivacyAggregate{Status: "ok", Epochs: make([]uint64, len(g.shards))}
+	type shardOut struct {
+		rep *privacy.Report
+		ok  bool
+	}
+	outs := make([]shardOut, len(g.shards))
+	var wg sync.WaitGroup
+	for k, st := range g.shards {
+		wg.Add(1)
+		go func(k int, st *shardState) {
+			defer wg.Done()
+			for _, r := range st.candidates() {
+				rep, err := r.client.Privacy(ctx)
+				if err == nil {
+					outs[k] = shardOut{rep: rep, ok: true}
+					return
+				}
+				if errors.Is(err, httpapi.ErrNoPrivacyReport) {
+					// Authoritative: this epoch has no report. Trying
+					// another replica of the same shard won't change that.
+					return
+				}
+			}
+		}(k, st)
+	}
+	wg.Wait()
+	var newest *privacy.Report
+	for k, so := range outs {
+		if !so.ok {
+			out.Status = "degraded"
+			continue
+		}
+		out.Epochs[k] = so.rep.Epoch
+		if newest == nil || so.rep.Epoch > newest.Epoch {
+			newest = so.rep
+		}
+	}
+	if out.Status == "ok" {
+		for _, e := range out.Epochs {
+			if e != out.Epochs[0] {
+				out.Status = "mixed"
+				break
+			}
+		}
+	}
+	out.Report = newest
+	out.HotOwners = g.hot.HotOwners()
+	sp.Set("status", out.Status)
+	return out
 }
 
 // AggregateStats sums the per-shard load counters (first healthy replica

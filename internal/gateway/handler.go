@@ -8,9 +8,11 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/httpapi"
 	"repro/internal/index"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
@@ -79,6 +81,7 @@ func (g *Gateway) buildMux() {
 	g.mux.HandleFunc("GET /v1/query", g.wrap("query", true, g.handleQuery))
 	g.mux.HandleFunc("GET /v1/search", g.wrap("search", true, g.handleSearch))
 	g.mux.HandleFunc("GET /v1/stats", g.wrap("stats", false, g.handleStats))
+	g.mux.HandleFunc("GET /v1/privacy", g.wrap("privacy", false, g.handlePrivacy))
 	g.mux.HandleFunc("GET /v1/healthz", g.wrap("healthz", false, g.handleHealthz))
 	if g.reg != nil {
 		g.mux.HandleFunc("GET /v1/metrics", g.instrument("metrics", g.handleMetrics))
@@ -190,17 +193,43 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// auditRecord emits one audit entry for a front-door request. The
+// g.sink == nil check at every call site keeps the disabled path free
+// of even the Entry construction.
+func (g *Gateway) auditRecord(r *http.Request, route, owner string, shardID int, epoch uint64, results, status int) {
+	var traceID string
+	if sp := trace.FromContext(r.Context()); sp != nil {
+		traceID = sp.TraceID().String()
+	}
+	g.sink.Record(audit.Entry{
+		Route:   route,
+		Owner:   owner,
+		Shard:   shardID,
+		Epoch:   epoch,
+		Trace:   traceID,
+		Results: results,
+		Status:  status,
+	})
+}
+
 func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 	owner := r.URL.Query().Get("owner")
 	if owner == "" {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing owner parameter"})
 		return
 	}
+	// Observe before the cache decision: a scanner probing hot identities
+	// hits the cache most of the time, and those probes must still count.
+	g.hot.Observe(owner)
+	ownerShard := shard.For(owner, len(g.shards))
 	res, cached, err := g.lookup(r.Context(), owner)
 	if sp := trace.FromContext(r.Context()); sp != nil {
 		sp.Set("cache", map[bool]string{true: "hit", false: "miss"}[cached])
 	}
 	if err != nil {
+		if g.sink != nil {
+			g.auditRecord(r, "query", owner, ownerShard, 0, -1, http.StatusBadGateway)
+		}
 		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
 		return
 	}
@@ -208,12 +237,18 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// it was fetched under, exactly like the shard node would have).
 	w.Header().Set(httpapi.EpochHeader, strconv.FormatUint(res.epoch, 10))
 	if res.notFound {
+		if g.sink != nil {
+			g.auditRecord(r, "query", owner, ownerShard, res.epoch, -1, http.StatusNotFound)
+		}
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "owner not found: " + owner})
 		return
 	}
 	providers := res.providers
 	if providers == nil {
 		providers = []int{}
+	}
+	if g.sink != nil {
+		g.auditRecord(r, "query", owner, ownerShard, res.epoch, len(providers), http.StatusOK)
 	}
 	writeJSON(w, http.StatusOK, httpapi.QueryResponse{Owner: owner, Providers: providers})
 }
@@ -231,6 +266,11 @@ func (g *Gateway) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	matches, epoch, err := g.searchAll(r.Context(), q, limit)
 	if err != nil {
+		if g.sink != nil {
+			// The search pattern goes in the Owner slot: substring probing
+			// is the same exposure pattern as direct queries.
+			g.auditRecord(r, "search", q, -1, 0, -1, http.StatusBadGateway)
+		}
 		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
 		return
 	}
@@ -238,7 +278,23 @@ func (g *Gateway) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if matches == nil {
 		matches = []index.Match{}
 	}
+	if g.sink != nil {
+		g.auditRecord(r, "search", q, -1, epoch, len(matches), http.StatusOK)
+	}
 	writeJSON(w, http.StatusOK, httpapi.SearchResponse{Results: matches})
+}
+
+// handlePrivacy serves the fleet-wide privacy view: the newest verified
+// per-epoch report plus the gateway's own hot-owner flags. 404 only when
+// no shard anywhere has a report — a partially-reporting fleet still
+// answers, marked degraded.
+func (g *Gateway) handlePrivacy(w http.ResponseWriter, r *http.Request) {
+	agg := g.AggregatePrivacy(r.Context())
+	if agg.Report == nil && len(agg.HotOwners) == 0 {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no privacy report published on any shard"})
+		return
+	}
+	writeJSON(w, http.StatusOK, agg)
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,199 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/httpapi"
+	"repro/internal/mathx"
+	"repro/internal/metrics"
+	"repro/internal/privacy"
+	"repro/internal/workload"
+)
+
+// TestPrivacyTelemetryEndToEnd is the acceptance test for the privacy
+// observability surface: a Chernoff construction publishes an epoch with
+// its privacy report, a 2-shard fleet serves it, and a gateway with
+// auditing and hot-owner tracking fronts the fleet. It proves:
+//
+//  1. the publish wrote epochs/000001/privacy.json and the report audits
+//     clean — empty violation list under the Chernoff policy;
+//  2. each node serves the verified report at GET /v1/privacy;
+//  3. the gateway aggregates a fleet-wide view with status "ok";
+//  4. a repeated-probe scan of one owner trips eppi_audit_hot_owners and
+//     surfaces the owner in the aggregate's hot_owners list;
+//  5. the gateway's audit log recorded the scan, owner by owner.
+func TestPrivacyTelemetryEndToEnd(t *testing.T) {
+	const shards = 2
+	root := t.TempDir()
+
+	d, err := workload.GenerateZipf(workload.ZipfConfig{
+		Providers: 40, Owners: 30, Exponent: 1.1, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Policy: mathx.PolicyChernoff, Gamma: 0.9, Mode: core.ModeTrusted, Seed: 11}
+	res, err := core.Construct(d.Matrix, d.Eps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := privacy.Compute(privacy.Input{
+		Truth: d.Matrix, Published: res.Published, Names: d.Names,
+		Eps: d.Eps, Thresholds: res.Thresholds, Hidden: res.Hidden,
+		Policy: cfg.Policy.String(), Gamma: cfg.Gamma,
+		Lambda: res.Lambda, Xi: res.Xi,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := epoch.Publisher{Root: root}
+	if n, err := pub.PublishWithReport(res.Published, d.Names, shards, rep); err != nil || n != 1 {
+		t.Fatalf("publish = %d, %v", n, err)
+	}
+
+	// (1) The store holds the report on disk, and it audits clean.
+	if _, err := os.Stat(filepath.Join(root, epoch.EpochsDir, "000001", privacy.FileName)); err != nil {
+		t.Fatalf("publish wrote no privacy.json: %v", err)
+	}
+	stored, err := epoch.LoadReportAt(root, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored.Policy != "chernoff" || stored.ViolationCount != 0 || len(stored.Violations) != 0 {
+		t.Fatalf("stored report not clean: policy=%s violations=%d %v",
+			stored.Policy, stored.ViolationCount, stored.Violations)
+	}
+	if stored.SuccessRatio < cfg.Gamma {
+		t.Fatalf("SuccessRatio = %v below γ = %v", stored.SuccessRatio, cfg.Gamma)
+	}
+
+	// Boot the fleet the way eppi-serve -epoch-dir does: load each shard,
+	// then install the verified report on its handler.
+	var bases [][]string
+	for k := 0; k < shards; k++ {
+		srv, n, err := epoch.Load(root, k, shards)
+		if err != nil || n != 1 {
+			t.Fatalf("boot shard %d: epoch %d, %v", k, n, err)
+		}
+		handler, err := httpapi.NewHandler(srv, httpapi.WithMetrics(metrics.NewRegistry()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handler.SetReport(stored)
+		ts := httptest.NewServer(handler)
+		defer ts.Close()
+		bases = append(bases, []string{ts.URL})
+	}
+
+	// (2) Every node serves the verified report.
+	for k, reps := range bases {
+		resp, err := http.Get(reps[0] + "/v1/privacy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got privacy.Report
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatalf("node %d privacy decode: %v", k, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || got.Epoch != 1 || got.Checksum != stored.Checksum {
+			t.Fatalf("node %d /v1/privacy = %d epoch %d checksum %q, want 200 / 1 / %q",
+				k, resp.StatusCode, got.Epoch, got.Checksum, stored.Checksum)
+		}
+	}
+
+	greg := metrics.NewRegistry()
+	auditDir := t.TempDir()
+	sink, err := audit.Open(auditDir, audit.Options{Registry: greg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Config{
+		Shards: bases, Client: fastClient(), Registry: greg,
+		Audit: sink, HotWindow: time.Minute, HotThreshold: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g)
+	defer gw.Close()
+
+	// (4) Scan: probe one owner past the threshold through the gateway.
+	// The tracker observes before the cache decision, so cache hits count
+	// as pressure too — exactly what a frequency-probing attacker causes.
+	victim := d.Names[0]
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(gw.URL + "/v1/query?owner=" + url.QueryEscape(victim))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scan query %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if v := greg.Gauge("eppi_audit_hot_owners", "").Value(); v != 1 {
+		t.Errorf("eppi_audit_hot_owners = %v, want 1", v)
+	}
+	if v := greg.Counter("eppi_audit_hot_flagged_total", "").Value(); v != 1 {
+		t.Errorf("eppi_audit_hot_flagged_total = %d, want 1", v)
+	}
+
+	// (3) The fleet-wide aggregate: status ok, epoch-1 report, the
+	// scanned owner flagged.
+	resp, err := http.Get(gw.URL + "/v1/privacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg PrivacyAggregate
+	if err := json.NewDecoder(resp.Body).Decode(&agg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || agg.Status != "ok" {
+		t.Fatalf("gateway /v1/privacy = %d status %q, want 200 ok", resp.StatusCode, agg.Status)
+	}
+	if agg.Report == nil || agg.Report.Epoch != 1 || agg.Report.Checksum != stored.Checksum {
+		t.Fatalf("aggregate report = %+v, want epoch 1 checksum %q", agg.Report, stored.Checksum)
+	}
+	if fmt.Sprint(agg.HotOwners) != fmt.Sprint([]string{victim}) {
+		t.Errorf("aggregate hot owners = %v, want [%s]", agg.HotOwners, victim)
+	}
+
+	// (5) The audit log holds the scan. Close flushes the async ring.
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	byOwner := map[string]int{}
+	st, err := audit.ScanDir(auditDir, func(e audit.Entry) error {
+		if e.Route == "query" {
+			if e.Epoch != 1 {
+				t.Errorf("audit entry at epoch %d, want 1: %+v", e.Epoch, e)
+			}
+			byOwner[e.Owner]++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Corrupt != 0 {
+		t.Errorf("audit log has %d corrupt lines", st.Corrupt)
+	}
+	if byOwner[victim] != 10 {
+		t.Errorf("audit log holds %d scan queries of %q, want 10 (all: %v)",
+			byOwner[victim], victim, byOwner)
+	}
+}

@@ -8,6 +8,7 @@
 //	GET /v1/stats                    → {"queries": n, "avgFanout": f}
 //	GET /v1/healthz                  → {"status": "ok", "providers": m, "owners": n}
 //	GET /v1/metrics                  → Prometheus text exposition (when enabled)
+//	GET /v1/privacy                  → the served epoch's ε-audit report (privacy.json)
 //
 // A server holding one column shard of a larger index (internal/shard)
 // additionally reports its shard identity in /v1/healthz and annotates
@@ -37,8 +38,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/index"
 	"repro/internal/metrics"
+	"repro/internal/privacy"
 	"repro/internal/trace"
 )
 
@@ -69,6 +72,13 @@ type Handler struct {
 	mux    *http.ServeMux
 	reg    *metrics.Registry
 	tracer *trace.Tracer
+	sink   *audit.Sink
+
+	// report is the privacy audit of the epoch being served, installed
+	// alongside the index snapshot (SetReport). It is advisory: a node
+	// missing its report still serves queries — observability must not
+	// take down serving.
+	report atomic.Pointer[privacy.Report]
 
 	// swapMu serializes Swap against itself; the query path never takes it.
 	swapMu sync.Mutex
@@ -96,6 +106,14 @@ func WithMetrics(reg *metrics.Registry) Option {
 // A nil tracer disables all of it.
 func WithTracer(tr *trace.Tracer) Option {
 	return func(h *Handler) { h.tracer = tr }
+}
+
+// WithAudit records every query and search into sink — who asked about
+// whom, against which shard and epoch — via the async audit log
+// (internal/audit). A nil sink disables auditing; the query path then
+// pays a single nil check and allocates nothing extra.
+func WithAudit(sink *audit.Sink) Option {
+	return func(h *Handler) { h.sink = sink }
 }
 
 // NewHandler wraps srv.
@@ -128,7 +146,24 @@ func NewHandler(srv *index.Server, opts ...Option) (*Handler, error) {
 	h.mux.HandleFunc("GET /v1/search", h.wrap("search", h.handleSearch))
 	h.mux.HandleFunc("GET /v1/stats", h.wrap("stats", h.handleStats))
 	h.mux.HandleFunc("GET /v1/healthz", h.wrap("healthz", h.handleHealthz))
+	h.mux.HandleFunc("GET /v1/privacy", h.wrap("privacy", h.handlePrivacy))
 	return h, nil
+}
+
+// SetReport installs the privacy report of the epoch being served and
+// exports its headline numbers to the metrics registry. Callers pair it
+// with Swap on every epoch change; a nil report clears the endpoint
+// (the node serves 404 until the next epoch brings one).
+func (h *Handler) SetReport(rep *privacy.Report) {
+	h.report.Store(rep)
+	if rep != nil {
+		privacy.Export(h.reg, rep)
+	}
+}
+
+// Report returns the installed privacy report, or nil.
+func (h *Handler) Report() *privacy.Report {
+	return h.report.Load()
 }
 
 // srv returns the currently served index snapshot. Handlers load it once
@@ -303,6 +338,29 @@ func setEpochHeader(w http.ResponseWriter, srv *index.Server) {
 	w.Header().Set(EpochHeader, strconv.FormatUint(srv.Epoch(), 10))
 }
 
+// auditRecord logs one query/search outcome to the audit sink. The
+// h.sink == nil check at every call site keeps the disabled path free
+// of even the Entry construction.
+func (h *Handler) auditRecord(r *http.Request, srv *index.Server, route, owner string, results, status int) {
+	shardID := -1
+	if id, _, sharded := srv.ShardInfo(); sharded {
+		shardID = id
+	}
+	traceID := ""
+	if sp := trace.FromContext(r.Context()); sp != nil {
+		traceID = sp.TraceID().String()
+	}
+	h.sink.Record(audit.Entry{
+		Route:   route,
+		Owner:   owner,
+		Shard:   shardID,
+		Epoch:   srv.Epoch(),
+		Trace:   traceID,
+		Results: results,
+		Status:  status,
+	})
+}
+
 func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	srv := h.srv()
 	setEpochHeader(w, srv)
@@ -314,11 +372,17 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	providers, err := srv.QueryCtx(r.Context(), owner)
 	if err != nil {
 		if errors.Is(err, index.ErrUnknownOwner) {
+			if h.sink != nil {
+				h.auditRecord(r, srv, "query", owner, -1, http.StatusNotFound)
+			}
 			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
 			return
 		}
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
+	}
+	if h.sink != nil {
+		h.auditRecord(r, srv, "query", owner, len(providers), http.StatusOK)
 	}
 	if providers == nil {
 		providers = []int{}
@@ -353,6 +417,11 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	results := srv.Search(r.Context(), q, limit)
+	if h.sink != nil {
+		// Searches audit the query string in the owner field: a scan
+		// via substring probing is the same exposure pattern.
+		h.auditRecord(r, srv, "search", q, len(results), http.StatusOK)
+	}
 	if results == nil {
 		results = []index.Match{}
 	}
@@ -372,6 +441,17 @@ func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Shard = &ShardRef{ID: id, Of: of}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) handlePrivacy(w http.ResponseWriter, r *http.Request) {
+	srv := h.srv()
+	setEpochHeader(w, srv)
+	rep := h.report.Load()
+	if rep == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no privacy report for the served epoch"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (h *Handler) handleTraces(w http.ResponseWriter, r *http.Request) {
@@ -662,6 +742,40 @@ func (c *Client) SearchEpoch(ctx context.Context, q string, limit int) ([]index.
 		return nil, epoch, fmt.Errorf("httpapi: decode search response: %w", err)
 	}
 	return sr.Results, epoch, nil
+}
+
+// ErrNoPrivacyReport reports a node serving an epoch that carries no
+// privacy report (404 from /v1/privacy).
+var ErrNoPrivacyReport = errors.New("httpapi: no privacy report")
+
+// Privacy fetches the privacy report of the epoch the node serves and
+// re-verifies its self-checksum — the wire formatting may differ from
+// privacy.json on disk, but the canonical re-encoding the seal covers
+// survives the JSON round trip, so tampering anywhere between publish
+// and this client still fails the CRC.
+func (c *Client) Privacy(ctx context.Context) (*privacy.Report, error) {
+	resp, err := c.get(ctx, "/v1/privacy")
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: privacy: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, ErrNoPrivacyReport
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("httpapi: privacy status %d: %s", resp.StatusCode, e.Error)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: privacy: %w", err)
+	}
+	rep, err := privacy.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: privacy: %w", err)
+	}
+	return rep, nil
 }
 
 // Stats fetches the service's load counters.

@@ -10,9 +10,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/bitmat"
 	"repro/internal/index"
 	"repro/internal/metrics"
+	"repro/internal/privacy"
 	"repro/internal/provider"
 	"repro/internal/searcher"
 )
@@ -361,6 +363,75 @@ func TestMetricsEndpointFullStack(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestMetricsExpositionLints runs the format linter over a live
+// /v1/metrics scrape with every new telemetry family registered —
+// privacy report gauges, audit sink counters, build info — so a
+// malformed series cannot ship unnoticed.
+func TestMetricsExpositionLints(t *testing.T) {
+	m := bitmat.MustNew(4, 2)
+	m.Set(0, 0, true)
+	m.Set(2, 0, true)
+	m.Set(1, 1, true)
+	srv, err := index.NewServer(m, []string{"alice", "bob owner"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	metrics.RegisterBuildInfo(reg)
+	sink, err := audit.Open(t.TempDir(), audit.Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	h, err := NewHandler(srv, WithMetrics(reg), WithAudit(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := privacy.Compute(privacy.Input{
+		Truth: m, Published: m,
+		Names:      []string{"alice", "bob owner"},
+		Eps:        []float64{0.4, 0.8},
+		Thresholds: []uint64{5, 5},
+		Hidden:     []bool{false, false},
+		Policy:     "chernoff", Gamma: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := privacy.Sealed(rep, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetReport(sealed)
+
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client())
+	if _, err := client.Query(context.Background(), "alice"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"eppi_build_info{", "eppi_privacy_fp_rate{", "eppi_audit_dropped_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if errs := metrics.LintExposition(strings.NewReader(out)); len(errs) != 0 {
+		t.Errorf("/v1/metrics failed lint: %v\n%s", errs, out)
 	}
 }
 

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo returns the identity of the running binary: module version,
+// Go toolchain version, and the VCS revision stamped by `go build` when
+// the module is built inside a git checkout (suffixed "-dirty" for a
+// modified tree). Fields fall back to "unknown" outside module builds.
+func BuildInfo() (version, goVersion, revision string) {
+	version, revision = "unknown", "unknown"
+	goVersion = runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, goVersion, revision
+	}
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	} else {
+		version = "devel"
+	}
+	modified := ""
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+			if len(revision) > 12 {
+				revision = revision[:12]
+			}
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "-dirty"
+			}
+		}
+	}
+	return version, goVersion, revision + modified
+}
+
+// RegisterBuildInfo registers the eppi_build_info gauge: a constant-1
+// series whose labels identify the running binary. The Prometheus
+// convention: join any other series against it to answer "which build
+// produced this number". Safe on a nil registry (no-op).
+func RegisterBuildInfo(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	version, goVersion, revision := BuildInfo()
+	reg.Gauge("eppi_build_info",
+		"Build identity of the running binary; value is always 1.",
+		L("version", version),
+		L("go_version", goVersion),
+		L("revision", revision),
+	).Set(1)
+}

@@ -1,0 +1,394 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus text exposition (version 0.0.4)
+// against the subset of the format this package emits, returning one
+// error per defect found. It is the guard that keeps WriteTo honest as
+// new series are added: a scraper that silently drops malformed lines
+// would otherwise hide them forever.
+//
+// Checked invariants:
+//
+//   - every line is a comment, blank, or a parseable sample
+//   - metric and label names match the Prometheus grammar
+//   - label values use only the \\, \", and \n escapes
+//   - sample values parse as floats (+Inf, -Inf, NaN included)
+//   - # TYPE names a valid kind, appears at most once per family, and
+//     precedes the family's first sample; # HELP likewise
+//   - no series (name plus full label set) is emitted twice
+//   - histogram families: le bounds parse and strictly increase,
+//     cumulative bucket counts are nondecreasing, the +Inf bucket is
+//     present and equals the family's _count, and _sum/_count exist
+func LintExposition(r io.Reader) []error {
+	l := &linter{
+		types:  map[string]string{},
+		helps:  map[string]bool{},
+		seen:   map[string]bool{},
+		series: map[string]bool{},
+		hists:  map[string]*histLint{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		l.line(line, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		l.errs = append(l.errs, fmt.Errorf("read exposition: %w", err))
+	}
+	l.finish()
+	return l.errs
+}
+
+type histLint struct {
+	family string
+	labels string // base label set, le stripped
+	lastLe float64
+	lastN  uint64
+	any    bool
+	inf    bool
+	infN   uint64
+	sum    bool
+	count  bool
+	countN uint64
+}
+
+type linter struct {
+	errs   []error
+	types  map[string]string // family -> declared TYPE
+	helps  map[string]bool
+	seen   map[string]bool // family (or sample name) has emitted a sample
+	series map[string]bool // name + canonical labels already emitted
+	hists  map[string]*histLint
+}
+
+func (l *linter) errf(line int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: "+format, append([]any{line}, args...)...))
+}
+
+func (l *linter) line(n int, s string) {
+	if s == "" {
+		return
+	}
+	if strings.HasPrefix(s, "#") {
+		l.comment(n, s)
+		return
+	}
+	name, labels, value, ok := l.parseSample(n, s)
+	if !ok {
+		return
+	}
+	if !validMetricName(name) {
+		l.errf(n, "invalid metric name %q", name)
+	}
+	if _, err := strconv.ParseFloat(value, 64); err != nil {
+		l.errf(n, "value %q of %s is not a float", value, name)
+	}
+	key := name + canonicalLabels(labels)
+	if l.series[key] {
+		l.errf(n, "duplicate series %s", key)
+	}
+	l.series[key] = true
+	fam := l.family(name)
+	l.seen[fam] = true
+	l.seen[name] = true
+	if l.types[fam] == "histogram" {
+		l.histSample(n, fam, name, labels, value)
+	}
+}
+
+// family maps a sample name to its TYPE-declared family: histogram rows
+// carry _bucket/_sum/_count suffixes on top of the family name.
+func (l *linter) family(name string) string {
+	if _, ok := l.types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && l.types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+func (l *linter) comment(n int, s string) {
+	fields := strings.SplitN(s, " ", 4)
+	if len(fields) < 2 || fields[0] != "#" {
+		return // free-form comment: legal, ignored
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			l.errf(n, "HELP without a metric name")
+			return
+		}
+		name := fields[2]
+		if l.helps[name] {
+			l.errf(n, "duplicate HELP for %s", name)
+		}
+		l.helps[name] = true
+		if l.seen[name] {
+			l.errf(n, "HELP for %s after its samples", name)
+		}
+	case "TYPE":
+		if len(fields) < 4 {
+			l.errf(n, "TYPE line %q missing name or kind", s)
+			return
+		}
+		name, kind := fields[2], fields[3]
+		switch kind {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			l.errf(n, "TYPE of %s is invalid kind %q", name, kind)
+		}
+		if _, dup := l.types[name]; dup {
+			l.errf(n, "duplicate TYPE for %s", name)
+		}
+		if l.seen[name] {
+			l.errf(n, "TYPE for %s after its samples", name)
+		}
+		l.types[name] = kind
+	}
+}
+
+func (l *linter) histSample(n int, fam, name string, labels []Label, value string) {
+	base := make([]Label, 0, len(labels))
+	le := ""
+	hasLe := false
+	for _, lb := range labels {
+		if lb.Key == "le" {
+			le, hasLe = lb.Value, true
+			continue
+		}
+		base = append(base, lb)
+	}
+	key := fam + canonicalLabels(base)
+	h := l.hists[key]
+	if h == nil {
+		h = &histLint{family: fam, labels: canonicalLabels(base)}
+		l.hists[key] = h
+	}
+	switch name {
+	case fam + "_bucket":
+		if !hasLe {
+			l.errf(n, "%s row without an le label", name)
+			return
+		}
+		cnt, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			l.errf(n, "bucket count %q of %s is not an integer", value, name)
+			return
+		}
+		if le == "+Inf" {
+			h.inf, h.infN = true, cnt
+		} else {
+			ub, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				l.errf(n, "le %q of %s is not a float", le, name)
+				return
+			}
+			if h.inf {
+				l.errf(n, "%s bucket le=%q after the +Inf bucket", name, le)
+			}
+			if h.any && ub <= h.lastLe {
+				l.errf(n, "%s bucket bounds not increasing: le=%v after %v", name, ub, h.lastLe)
+			}
+			h.lastLe = ub
+		}
+		if h.any && cnt < h.lastN {
+			l.errf(n, "%s cumulative counts decreasing: %d after %d", name, cnt, h.lastN)
+		}
+		h.any, h.lastN = true, cnt
+	case fam + "_sum":
+		if hasLe {
+			l.errf(n, "%s carries an le label", name)
+		}
+		h.sum = true
+	case fam + "_count":
+		if hasLe {
+			l.errf(n, "%s carries an le label", name)
+		}
+		cnt, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			l.errf(n, "count %q of %s is not an integer", value, name)
+			return
+		}
+		h.count, h.countN = true, cnt
+	default:
+		// A bare sample under a histogram family name.
+		l.errf(n, "histogram family %s has non-histogram sample %s", fam, name)
+	}
+}
+
+// finish reports the histogram defects only visible once the whole
+// exposition has streamed past.
+func (l *linter) finish() {
+	keys := make([]string, 0, len(l.hists))
+	for k := range l.hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := l.hists[k]
+		id := h.family + h.labels
+		if !h.inf {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s missing its +Inf bucket", id))
+		}
+		if !h.sum {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s missing %s_sum", id, h.family))
+		}
+		if !h.count {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s missing %s_count", id, h.family))
+		} else if h.inf && h.infN != h.countN {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s: +Inf bucket %d != %s_count %d",
+				id, h.infN, h.family, h.countN))
+		}
+	}
+}
+
+// parseSample splits `name{k="v",...} value` into parts, reporting any
+// syntax defect against the line number.
+func (l *linter) parseSample(n int, s string) (name string, labels []Label, value string, ok bool) {
+	i := 0
+	for i < len(s) && s[i] != '{' && s[i] != ' ' {
+		i++
+	}
+	name = s[:i]
+	if name == "" {
+		l.errf(n, "sample line %q has no metric name", s)
+		return "", nil, "", false
+	}
+	rest := s[i:]
+	if strings.HasPrefix(rest, "{") {
+		var lerr string
+		labels, rest, lerr = parseLabels(rest[1:])
+		if lerr != "" {
+			l.errf(n, "labels of %s: %s", name, lerr)
+			return "", nil, "", false
+		}
+		for _, lb := range labels {
+			if !validLabelName(lb.Key) {
+				l.errf(n, "invalid label name %q on %s", lb.Key, name)
+			}
+		}
+	}
+	if !strings.HasPrefix(rest, " ") {
+		l.errf(n, "sample %s has no value separator", name)
+		return "", nil, "", false
+	}
+	value = strings.TrimPrefix(rest, " ")
+	// An optional trailing timestamp is legal in the format; this
+	// package never writes one, so flag it as a drift signal.
+	if strings.ContainsRune(value, ' ') {
+		l.errf(n, "sample %s has trailing fields %q", name, value)
+		return "", nil, "", false
+	}
+	return name, labels, value, true
+}
+
+// parseLabels consumes `k="v",...}` (the opening brace already eaten),
+// unescaping values and returning whatever follows the closing brace.
+func parseLabels(s string) (labels []Label, rest string, errMsg string) {
+	for {
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], ""
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Sprintf("no '=' in %q", s)
+		}
+		key := s[:eq]
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Sprintf("value of %q not quoted", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+	scan:
+		for i := 0; i < len(s); i++ {
+			switch s[i] {
+			case '\\':
+				if i+1 >= len(s) {
+					return nil, "", fmt.Sprintf("value of %q ends mid-escape", key)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Sprintf("value of %q has bad escape \\%c", key, s[i+1])
+				}
+				i++
+			case '"':
+				closed = true
+				s = s[i+1:]
+				break scan
+			default:
+				val.WriteByte(s[i])
+			}
+		}
+		if !closed {
+			return nil, "", fmt.Sprintf("value of %q not terminated", key)
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if !strings.HasPrefix(s, "}") {
+			return nil, "", fmt.Sprintf("junk after value of %q: %q", key, s)
+		}
+	}
+}
+
+func canonicalLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + "=" + strconv.Quote(l.Value)
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func validLabelName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLintAcceptsOwnExposition is the self-consistency check: whatever
+// WriteTo produces — counters, gauges, histograms, labels that need
+// every escape — must lint clean.
+func TestLintAcceptsOwnExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("eppi_audit_dropped_total", "records dropped").Add(3)
+	r.Gauge("eppi_privacy_fp_rate", "achieved FP rate", L("bucket", "0.4-0.5")).Set(0.5)
+	r.Gauge("eppi_build_info", "build identity",
+		L("version", `dev "quoted" \slash`+"\n"), L("go_version", "go1.22")).Set(1)
+	h := r.Histogram("eppi_query_seconds", "query latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if errs := LintExposition(strings.NewReader(sb.String())); len(errs) != 0 {
+		t.Fatalf("own exposition failed lint: %v\n%s", errs, sb.String())
+	}
+}
+
+func TestLintCatchesDefects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of some reported error
+	}{
+		{"bad metric name", "1bad_name 3\n", "invalid metric name"},
+		{"bad value", "m notafloat\n", "is not a float"},
+		{"bad label name", `m{1k="v"} 1` + "\n", "invalid label name"},
+		{"bad escape", `m{k="a\t"} 1` + "\n", "bad escape"},
+		{"unterminated label", `m{k="v} 1` + "\n", "not terminated"},
+		{"duplicate series", "m{k=\"v\"} 1\nm{k=\"v\"} 2\n", "duplicate series"},
+		{"duplicate type", "# TYPE m counter\n# TYPE m gauge\nm 1\n", "duplicate TYPE"},
+		{"invalid kind", "# TYPE m matrix\nm 1\n", "invalid kind"},
+		{"type after sample", "m 1\n# TYPE m counter\n", "after its samples"},
+		{"help after sample", "m 1\n# HELP m late\n", "after its samples"},
+		{"trailing fields", "m 1 1690000000\n", "trailing fields"},
+		{
+			"decreasing buckets",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+				`h_bucket{le="+Inf"} 5` + "\nh_sum 9\nh_count 5\n",
+			"counts decreasing",
+		},
+		{
+			"unordered bounds",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="2"} 1` + "\n" + `h_bucket{le="1"} 2` + "\n" +
+				`h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 2\n",
+			"bounds not increasing",
+		},
+		{
+			"missing +Inf",
+			"# TYPE h histogram\n" + `h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+			"missing its +Inf bucket",
+		},
+		{
+			"+Inf disagrees with count",
+			"# TYPE h histogram\n" + `h_bucket{le="+Inf"} 4` + "\nh_sum 1\nh_count 5\n",
+			"+Inf bucket 4 != h_count 5",
+		},
+		{
+			"missing sum",
+			"# TYPE h histogram\n" + `h_bucket{le="+Inf"} 1` + "\nh_count 1\n",
+			"missing h_sum",
+		},
+		{
+			"bucket without le",
+			"# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n",
+			"without an le label",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			errs := LintExposition(strings.NewReader(c.in))
+			for _, err := range errs {
+				if strings.Contains(err.Error(), c.want) {
+					return
+				}
+			}
+			t.Errorf("lint missed %q; got %v", c.want, errs)
+		})
+	}
+}
+
+// TestLintLabeledHistograms checks the per-label-set tracking: two
+// series of one histogram family lint independently.
+func TestLintLabeledHistograms(t *testing.T) {
+	good := "# TYPE h histogram\n" +
+		`h_bucket{route="a",le="1"} 1` + "\n" + `h_bucket{route="a",le="+Inf"} 2` + "\n" +
+		`h_sum{route="a"} 3` + "\n" + `h_count{route="a"} 2` + "\n" +
+		`h_bucket{route="b",le="1"} 9` + "\n" + `h_bucket{route="b",le="+Inf"} 9` + "\n" +
+		`h_sum{route="b"} 4` + "\n" + `h_count{route="b"} 9` + "\n"
+	if errs := LintExposition(strings.NewReader(good)); len(errs) != 0 {
+		t.Fatalf("labeled histograms failed lint: %v", errs)
+	}
+	// Drop series b's _count: only that series must be flagged.
+	bad := strings.Replace(good, `h_count{route="b"} 9`+"\n", "", 1)
+	errs := LintExposition(strings.NewReader(bad))
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), `route="b"`) {
+		t.Fatalf("errs = %v", errs)
+	}
+}

@@ -1,0 +1,31 @@
+package privacy
+
+import "repro/internal/metrics"
+
+// Export publishes a report's headline numbers to a metrics registry.
+// Gauges describe the report currently installed (they overwrite on
+// every epoch swap); the violations counter accumulates across swaps so
+// a fleet-wide sum-of-rate alert catches even a single bad publication.
+// Safe on a nil registry.
+func Export(reg *metrics.Registry, r *Report) {
+	if reg == nil || r == nil {
+		return
+	}
+	reg.Gauge("eppi_privacy_epoch", "Epoch of the installed privacy report.").Set(float64(r.Epoch))
+	reg.Gauge("eppi_privacy_identities", "Identities audited by the installed privacy report.").Set(float64(r.Identities))
+	reg.Gauge("eppi_privacy_commons", "Published-common (hidden) identity columns in the current epoch.").Set(float64(r.PublishedCommons))
+	if r.MixRatio >= 0 {
+		reg.Gauge("eppi_privacy_mix_ratio", "Achieved decoy fraction within the published common set (target: xi).").Set(r.MixRatio)
+	}
+	reg.Gauge("eppi_privacy_success_ratio", "Fraction of revealed identities meeting Equation 1 (target: gamma).").Set(r.SuccessRatio)
+	reg.Gauge("eppi_privacy_violations", "Equation 1 violations in the installed privacy report.").Set(float64(r.ViolationCount))
+	reg.Counter("eppi_privacy_violations_total", "Cumulative Equation 1 violations across installed privacy reports.").
+		Add(uint64(r.ViolationCount))
+	for i, b := range r.Buckets {
+		lbl := metrics.L("bucket", BucketLabel(i))
+		reg.Gauge("eppi_privacy_fp_rate", "Mean achieved false-positive rate of revealed identities per epsilon decile.", lbl).
+			Set(b.AchievedFP)
+		reg.Gauge("eppi_privacy_fp_guaranteed", "Mean guaranteed false-positive floor (epsilon) per epsilon decile.", lbl).
+			Set(b.GuaranteedFP)
+	}
+}

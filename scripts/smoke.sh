@@ -7,8 +7,14 @@
 # nodes plus eppi-gateway — and assert a routed lookup answers through
 # the gateway. Finally exercise the epoch lifecycle: publish an epoch
 # store, boot a hot-reloading fleet from it, publish a second epoch
-# mid-run, and assert the fleet swaps and the gateway's answer changes.
+# mid-run, and assert the fleet swaps, the gateway's answer changes, and
+# /v1/privacy serves each published epoch's verified privacy report on
+# the node and aggregated through the gateway.
 # Used by CI; runnable locally via `make smoke`.
+#
+# Set SMOKE_ARTIFACT_DIR to persist debugging artifacts (final metrics
+# snapshots, the audit log, each epoch's privacy.json) on exit — CI
+# uploads that directory when the run fails.
 set -eu
 
 ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
@@ -28,11 +34,29 @@ go build -o "$GW_BIN" ./cmd/eppi-gateway
 go build -o "$CON_BIN" ./cmd/eppi-construct
 
 STORE=$(mktemp -d)
+AUDIT=$(mktemp -d)
+ART="${SMOKE_ARTIFACT_DIR:-}"
+
+# collect_artifacts snapshots whatever observability state is reachable
+# into $ART — called from the exit trap so a failed run leaves evidence.
+collect_artifacts() {
+  [ -n "$ART" ] || return 0
+  mkdir -p "$ART"
+  for a in "$ADDR" "$SHARD0_ADDR" "$SHARD1_ADDR" "$GW_ADDR" "$EP0_ADDR" "$EP1_ADDR" "$EPGW_ADDR"; do
+    curl -sf --max-time 2 "http://$a/v1/metrics" >"$ART/metrics-$a.txt" 2>/dev/null || rm -f "$ART/metrics-$a.txt"
+    curl -sf --max-time 2 "http://$a/v1/privacy" >"$ART/privacy-$a.json" 2>/dev/null || rm -f "$ART/privacy-$a.json"
+  done
+  cp "$AUDIT"/audit-*.jsonl "$ART/" 2>/dev/null || true
+  for f in "$STORE"/epochs/*/privacy.json; do
+    [ -f "$f" ] || continue
+    cp "$f" "$ART/privacy-epoch-$(basename "$(dirname "$f")").json"
+  done
+}
 
 "$BIN" -addr "$ADDR" -providers 20 -owners 8 -log-format json &
 SERVER_PID=$!
 PIDS="$SERVER_PID"
-trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -f "$BIN" "$GW_BIN" "$CON_BIN"; rm -rf "$STORE"' EXIT
+trap 'collect_artifacts; for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -f "$BIN" "$GW_BIN" "$CON_BIN"; rm -rf "$STORE" "$AUDIT"' EXIT
 
 # Wait for the server to come up (up to ~5s).
 i=0
@@ -62,6 +86,19 @@ echo "$METRICS_OUT" | grep -q '^eppi_go_goroutines' || {
   exit 1
 }
 echo "smoke: metrics ok"
+
+# The demo construction audits itself: /v1/privacy serves a checksummed
+# report with no Eq. 1 violations (Chernoff policy must audit clean).
+PRIV_OUT=$(curl -sf "$BASE/v1/privacy")
+echo "$PRIV_OUT" | grep -q '"checksum"' || {
+  echo "smoke: /v1/privacy report missing checksum: $PRIV_OUT" >&2
+  exit 1
+}
+echo "$PRIV_OUT" | grep -q '"violation_count":0' || {
+  echo "smoke: demo construction violates Eq. 1: $PRIV_OUT" >&2
+  exit 1
+}
+echo "smoke: privacy report ok"
 
 # The trace ring must hold the query's trace: valid Chrome trace JSON
 # with an http.query root span.
@@ -147,8 +184,12 @@ echo "smoke: gateway ok"
   echo "smoke: CURRENT after first publish is $(cat "$STORE/CURRENT"), want 1" >&2
   exit 1
 }
+[ -f "$STORE/epochs/000001/privacy.json" ] || {
+  echo "smoke: publish wrote no privacy.json into the epoch store" >&2
+  exit 1
+}
 
-"$BIN" -addr "$EP0_ADDR" -epoch-dir "$STORE" -shard 0/2 -epoch-poll 200ms -log-format json &
+"$BIN" -addr "$EP0_ADDR" -epoch-dir "$STORE" -shard 0/2 -epoch-poll 200ms -audit-dir "$AUDIT" -log-format json &
 PIDS="$PIDS $!"
 "$BIN" -addr "$EP1_ADDR" -epoch-dir "$STORE" -shard 1/2 -epoch-poll 200ms -log-format json &
 PIDS="$PIDS $!"
@@ -186,6 +227,19 @@ echo "$EPOCH1_OUT" | grep -q '"providers"' || {
   exit 1
 }
 echo "smoke: epoch 1 serving ok"
+
+# Each node verifies and serves the published epoch's privacy report,
+# and the gateway aggregates a consistent fleet view.
+curl -sf "http://$EP0_ADDR/v1/privacy" | grep -q '"epoch":1' || {
+  echo "smoke: node /v1/privacy not serving epoch 1's report" >&2
+  exit 1
+}
+EPGW_PRIV=$(curl -sf "http://$EPGW_ADDR/v1/privacy")
+echo "$EPGW_PRIV" | grep -q '"status":"ok"' || {
+  echo "smoke: gateway privacy aggregate not ok: $EPGW_PRIV" >&2
+  exit 1
+}
+echo "smoke: privacy report served and aggregated"
 
 # Publish epoch 2 with 10 more providers: same owners, different answers.
 "$CON_BIN" -providers 30 -owners 8 -shards 2 -epoch-dir "$STORE" >/dev/null
@@ -237,6 +291,18 @@ EPOCH2_OUT=$(curl -sf "http://$EPGW_ADDR/v1/query?owner=owner%3A%2F%2Fsite-0.exa
   exit 1
 }
 echo "smoke: epoch swap visible through gateway"
+
+# The hot swap also swapped the privacy report, and the audited node
+# wrote the queries it served to the audit log.
+curl -sf "http://$EP0_ADDR/v1/privacy" | grep -q '"epoch":2' || {
+  echo "smoke: node /v1/privacy not serving epoch 2's report after swap" >&2
+  exit 1
+}
+ls "$AUDIT"/audit-*.jsonl >/dev/null 2>&1 || {
+  echo "smoke: -audit-dir produced no audit log" >&2
+  exit 1
+}
+echo "smoke: privacy report swapped, audit log written"
 
 for p in $PIDS; do
   kill "$p" 2>/dev/null || true
