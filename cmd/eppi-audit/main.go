@@ -15,9 +15,12 @@
 // record usable), and aggregates per-owner query counts, the epoch mix
 // of the traffic, and per-route totals. With -epoch-dir it additionally
 // loads and checksum-verifies every epoch's privacy.json, joins the
-// top-queried identities with their ε decile (Report.IdentityBuckets),
-// flags high-privacy identities under heavy query load, and diffs the
-// privacy posture across consecutive reports.
+// top-queried identities with their ε decile from the operator-only
+// detail document (privacy_detail.json — per-identity privacy demand
+// is deliberately absent from the served report, so the join needs
+// filesystem access to the store), flags high-privacy identities under
+// heavy query load, and diffs the privacy posture across consecutive
+// reports.
 package main
 
 import (
@@ -80,7 +83,7 @@ type OwnerStat struct {
 	Queries  int    `json:"queries"`
 	NotFound int    `json:"not_found"`
 	// Bucket is the identity's ε decile label ("0.7-0.8"); empty when no
-	// report covers the identity (or no -epoch-dir was given).
+	// detail document covers the identity (or no -epoch-dir was given).
 	Bucket string `json:"eps_bucket,omitempty"`
 	// HighPrivacy marks identities at or above the -high-bucket decile:
 	// the ones whose query pressure matters most.
@@ -171,23 +174,23 @@ func analyze(logs, epochDir string, top, highBucket int) (*Analysis, error) {
 	})
 
 	var reports []*privacy.Report
+	var buckets map[string]uint8
 	if epochDir != "" {
-		if reports, a.SkippedEpochs, err = storeReports(epochDir); err != nil {
+		if reports, buckets, a.SkippedEpochs, err = storeReports(epochDir); err != nil {
 			return nil, err
 		}
 	}
-	// Join against the newest report: the decile of an identity is a
-	// property of its ε, which does not move between epochs unless the
-	// owner re-delegates with a new preference.
-	var buckets map[string]uint8
-	if len(reports) > 0 {
-		buckets = reports[len(reports)-1].IdentityBuckets
-	}
+	// buckets came from the newest epoch carrying a detail document: the
+	// decile of an identity is a property of its ε, which does not move
+	// between epochs unless the owner re-delegates with a new preference.
 	for i := range ranked {
 		if b, ok := buckets[ranked[i].Owner]; ok {
 			ranked[i].Bucket = privacy.BucketLabel(int(b))
 			ranked[i].HighPrivacy = int(b) >= highBucket
 		}
+	}
+	if top < 0 {
+		top = 0
 	}
 	if top > len(ranked) {
 		top = len(ranked)
@@ -212,12 +215,15 @@ func analyze(logs, epochDir string, top, highBucket int) (*Analysis, error) {
 }
 
 // storeReports loads every verified privacy report of the store, oldest
-// first, returning the epoch numbers it had to skip (no report, or a
-// report failing its checksum).
-func storeReports(root string) ([]*privacy.Report, []uint64, error) {
+// first, plus the identity→ε-decile map from the newest epoch carrying
+// an operator detail document, and the epoch numbers it had to skip (no
+// report, or a report failing its checksum). A store without detail
+// files (published by a report-only publisher) yields a nil map — the
+// join degrades to unlabelled owners rather than failing.
+func storeReports(root string) ([]*privacy.Report, map[string]uint8, []uint64, error) {
 	dirs, err := os.ReadDir(filepath.Join(root, epoch.EpochsDir))
 	if err != nil {
-		return nil, nil, fmt.Errorf("epoch store: %w", err)
+		return nil, nil, nil, fmt.Errorf("epoch store: %w", err)
 	}
 	var ns []uint64
 	for _, d := range dirs {
@@ -232,6 +238,7 @@ func storeReports(root string) ([]*privacy.Report, []uint64, error) {
 	}
 	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
 	var reports []*privacy.Report
+	var buckets map[string]uint8
 	var skipped []uint64
 	for _, n := range ns {
 		rep, err := epoch.LoadReportAt(root, n)
@@ -240,8 +247,11 @@ func storeReports(root string) ([]*privacy.Report, []uint64, error) {
 			continue
 		}
 		reports = append(reports, rep)
+		if det, err := epoch.LoadDetailAt(root, n); err == nil {
+			buckets = det.IdentityBuckets
+		}
 	}
-	return reports, skipped, nil
+	return reports, buckets, skipped, nil
 }
 
 // render writes the human-readable form of the analysis.

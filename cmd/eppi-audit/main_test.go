@@ -41,7 +41,7 @@ func buildStore(t *testing.T) string {
 		Hidden:     []bool{false, false, true, true},
 		Policy:     "chernoff", Gamma: 0.9,
 	}
-	rep1, err := privacy.Compute(in)
+	rep1, det1, err := privacy.Compute(in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,16 +52,16 @@ func buildStore(t *testing.T) string {
 	pub2.Set(3, 1, true)
 	in2 := in
 	in2.Published = pub2
-	rep2, err := privacy.Compute(in2)
+	rep2, det2, err := privacy.Compute(in2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	root := t.TempDir()
 	p := epoch.Publisher{Root: root}
-	if _, err := p.PublishWithReport(pub, in.Names, 1, rep1); err != nil {
+	if _, err := p.PublishWithReport(pub, in.Names, 1, rep1, det1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.PublishWithReport(pub2, in.Names, 1, rep2); err != nil {
+	if _, err := p.PublishWithReport(pub2, in.Names, 1, rep2, det2); err != nil {
 		t.Fatal(err)
 	}
 	return root
@@ -196,6 +196,54 @@ func TestRunJSONAndText(t *testing.T) {
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestAnalyzeNegativeTop pins the clamp: a negative -top must yield an
+// empty top list, not a slice-bounds panic.
+func TestAnalyzeNegativeTop(t *testing.T) {
+	logs := buildLogs(t)
+	a, err := analyze(logs, "", -5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.TopOwners) != 0 {
+		t.Errorf("top owners = %+v, want none", a.TopOwners)
+	}
+}
+
+// TestAnalyzeDetaillessStore covers a store whose publisher withheld
+// the operator detail (e.g. a host-facing store): reports still
+// summarize and diff, but the ε-decile join degrades to unlabelled
+// owners instead of failing.
+func TestAnalyzeDetaillessStore(t *testing.T) {
+	truth := bitmat.MustNew(2, 2)
+	truth.Set(0, 0, true)
+	pub := truth.Clone()
+	pub.Set(1, 0, true)
+	rep, _, err := privacy.Compute(privacy.Input{
+		Truth: truth, Published: pub,
+		Names: []string{"a", "b"}, Eps: []float64{0.4, 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	p := epoch.Publisher{Root: root}
+	if _, err := p.PublishWithReport(pub, []string{"a", "b"}, 1, rep, nil); err != nil {
+		t.Fatal(err)
+	}
+	a, err := analyze(buildLogs(t), root, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Reports) != 1 {
+		t.Fatalf("reports = %+v", a.Reports)
+	}
+	for _, o := range a.TopOwners {
+		if o.Bucket != "" || o.HighPrivacy {
+			t.Errorf("owner joined without a detail document: %+v", o)
 		}
 	}
 }

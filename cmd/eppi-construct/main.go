@@ -156,8 +156,11 @@ func run(args []string, out io.Writer) error {
 	}
 	// Audit what was actually constructed before anything is exported:
 	// the report re-derives the achieved FP protection from M vs M'
-	// (internal/privacy) and travels with every epoch publication.
-	rep, err := privacy.Compute(privacy.Input{
+	// (internal/privacy) and travels with every epoch publication. The
+	// operator-only detail (identity ε deciles, full violation records)
+	// is published alongside it as privacy_detail.json for eppi-audit —
+	// it stays a filesystem artifact and is never served.
+	rep, det, err := privacy.Compute(privacy.Input{
 		Truth: d.Matrix, Published: res.Published, Names: d.Names, Eps: d.Eps,
 		Thresholds: res.Thresholds, Hidden: res.Hidden,
 		Policy: policy.String(), Gamma: *gamma,
@@ -179,7 +182,7 @@ func run(args []string, out io.Writer) error {
 			n = 1
 		}
 		pub := epoch.Publisher{Root: *epochDir}
-		e, err := pub.PublishWithReport(srv.PublishedMatrix(), srv.Names(), n, rep)
+		e, err := pub.PublishWithReport(srv.PublishedMatrix(), srv.Names(), n, rep, det)
 		if err != nil {
 			return fmt.Errorf("publish epoch: %w", err)
 		}

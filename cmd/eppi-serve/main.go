@@ -361,8 +361,9 @@ func loadOrBuild(path, shardSpec string, providers, owners int, seed int64) (*in
 	}
 	// The demo build has the truth matrix in hand, so it can audit
 	// itself like a real publisher would; Sealed gives the in-memory
-	// report the checksum clients verify on fetch.
-	rep, err := privacy.Compute(privacy.Input{
+	// report the checksum clients verify on fetch. The operator detail
+	// is discarded: a serving node must hold nothing it cannot serve.
+	rep, _, err := privacy.Compute(privacy.Input{
 		Truth: d.Matrix, Published: res.Published, Names: d.Names, Eps: d.Eps,
 		Thresholds: res.Thresholds, Hidden: res.Hidden,
 		Policy: mathx.PolicyChernoff.String(), Gamma: 0.9,

@@ -83,10 +83,11 @@ var (
 type Network struct {
 	providers []*provider.Provider
 
-	mu      sync.Mutex
-	server  *index.Server
-	report  *ConstructionReport
-	privacy *privacy.Report
+	mu         sync.Mutex
+	server     *index.Server
+	report     *ConstructionReport
+	privacy    *privacy.Report
+	privacyDet *privacy.Detail
 }
 
 // NewNetwork creates a network with one provider per name.
@@ -342,8 +343,9 @@ func (n *Network) ConstructPPI(opts ...Option) (*ConstructionReport, error) {
 	// Audit the artifact we just built: re-derive the achieved privacy
 	// from M vs M' (internal/privacy). This runs where the truth matrix
 	// legitimately lives — inside the provider network — and only the
-	// aggregate report ever leaves with the published index.
-	priv, err := privacy.Compute(privacy.Input{
+	// aggregate report ever leaves with the published index; the
+	// per-identity detail stays behind PrivacyDetail.
+	priv, privDet, err := privacy.Compute(privacy.Input{
 		Truth:      truth,
 		Published:  res.Published,
 		Names:      names,
@@ -363,6 +365,7 @@ func (n *Network) ConstructPPI(opts ...Option) (*ConstructionReport, error) {
 	n.server = server
 	n.report = report
 	n.privacy = priv
+	n.privacyDet = privDet
 	n.mu.Unlock()
 	return report, nil
 }
@@ -376,6 +379,18 @@ func (n *Network) PrivacyReport() *privacy.Report {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.privacy
+}
+
+// PrivacyDetail returns the operator-only companion of PrivacyReport
+// (nil before construction): the identity→ε-decile map and the full
+// per-identity violation records. Unlike the report it is never
+// published by PublishEpoch — per-identity privacy demand must not
+// leave the provider network — so an operator who wants it in their
+// own store persists it explicitly with privacy.WriteDetailFile.
+func (n *Network) PrivacyDetail() *privacy.Detail {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.privacyDet
 }
 
 // Query implements QueryPPI(t_j): the ids of providers that may hold the

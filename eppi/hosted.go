@@ -52,16 +52,18 @@ func (n *Network) WriteShardSet(dir string, shards int) (*shard.Manifest, error)
 // serving nodes watching the store hot-swap to the new version without a
 // restart. The construction's ε-audit report travels with the shard set
 // as epochs/<n>/privacy.json. Returns the epoch number published. Like
-// WriteShardSet, only public state leaves the provider network (the
-// report carries aggregates, never per-identity frequencies). It fails
-// before ConstructPPI.
+// WriteShardSet, only public state leaves the provider network: the
+// report carries aggregates and a name+ε violation sample, never
+// per-identity frequencies or the identity→ε-decile map — those stay
+// inside the network behind PrivacyDetail. It fails before
+// ConstructPPI.
 func (n *Network) PublishEpoch(root string, shards int) (uint64, error) {
 	srv, err := n.serverHandle()
 	if err != nil {
 		return 0, err
 	}
 	pub := epoch.Publisher{Root: root}
-	e, err := pub.PublishWithReport(srv.PublishedMatrix(), srv.Names(), shards, n.PrivacyReport())
+	e, err := pub.PublishWithReport(srv.PublishedMatrix(), srv.Names(), shards, n.PrivacyReport(), nil)
 	if err != nil {
 		return 0, fmt.Errorf("eppi: publish epoch: %w", err)
 	}

@@ -106,6 +106,11 @@ func LoadAt(root string, n uint64, k, of int) (*index.Server, error) {
 // a pre-report store or a report-less publisher, not corruption.
 var ErrNoReport = errors.New("epoch: no privacy report")
 
+// ErrNoDetail reports an epoch published without the operator-only
+// privacy detail document (privacy_detail.json) — a pre-detail store
+// or a publisher that deliberately withheld it, not corruption.
+var ErrNoDetail = errors.New("epoch: no privacy detail")
+
 // LoadReportAt loads and verifies epoch n's privacy report, rejecting
 // a report whose own epoch stamp disagrees with the directory it sits
 // in (a copied or misplaced file). Absence is ErrNoReport so callers
@@ -122,6 +127,24 @@ func LoadReportAt(root string, n uint64) (*privacy.Report, error) {
 		return nil, fmt.Errorf("epoch %d: privacy report claims epoch %d — misplaced report", n, rep.Epoch)
 	}
 	return rep, nil
+}
+
+// LoadDetailAt loads and verifies epoch n's operator-only privacy
+// detail (identity ε-decile map, full violation records). Only offline
+// tooling with filesystem access to the store — cmd/eppi-audit — should
+// call this; serving paths work from the public report alone.
+func LoadDetailAt(root string, n uint64) (*privacy.Detail, error) {
+	det, err := privacy.ReadDetailFile(Dir(root, n))
+	if err != nil {
+		if os.IsNotExist(err) || errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: epoch %d", ErrNoDetail, n)
+		}
+		return nil, fmt.Errorf("epoch %d: %w", n, err)
+	}
+	if det.Epoch != n {
+		return nil, fmt.Errorf("epoch %d: privacy detail claims epoch %d — misplaced detail", n, det.Epoch)
+	}
+	return det, nil
 }
 
 // Load resolves CURRENT and loads shard k/of of the active epoch,
@@ -152,15 +175,19 @@ type Publisher struct {
 // either the old epoch fully active or the new one — never a torn store.
 // It returns the epoch number it published.
 func (p *Publisher) Publish(published *bitmat.Matrix, names []string, shards int) (uint64, error) {
-	return p.PublishWithReport(published, names, shards, nil)
+	return p.PublishWithReport(published, names, shards, nil, nil)
 }
 
-// PublishWithReport is Publish carrying a privacy audit report: the
+// PublishWithReport is Publish carrying a privacy audit: the public
 // report is sealed for the new epoch number and written as privacy.json
 // inside the epoch directory, so it travels with the shard set it
-// audits — same temp-dir assembly, same atomic visibility. A nil report
-// publishes without one (legacy stores and report-less callers).
-func (p *Publisher) PublishWithReport(published *bitmat.Matrix, names []string, shards int, rep *privacy.Report) (uint64, error) {
+// audits — same temp-dir assembly, same atomic visibility. The
+// operator-only detail, when given, lands next to it as
+// privacy_detail.json (mode 0600); serving nodes never read it. A nil
+// report publishes without one (legacy stores and report-less callers);
+// a nil detail publishes the report alone (e.g. when the store is
+// handed to an untrusted host and per-identity data must not travel).
+func (p *Publisher) PublishWithReport(published *bitmat.Matrix, names []string, shards int, rep *privacy.Report, det *privacy.Detail) (uint64, error) {
 	if shards < 1 {
 		return 0, fmt.Errorf("epoch: bad shard count %d", shards)
 	}
@@ -189,6 +216,11 @@ func (p *Publisher) PublishWithReport(published *bitmat.Matrix, names []string, 
 	}
 	if rep != nil {
 		if err := privacy.WriteFile(tmp, rep, next); err != nil {
+			return 0, err
+		}
+	}
+	if det != nil {
+		if err := privacy.WriteDetailFile(tmp, det, next); err != nil {
 			return 0, err
 		}
 	}

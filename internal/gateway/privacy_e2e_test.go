@@ -3,11 +3,13 @@ package gateway
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -48,7 +50,7 @@ func TestPrivacyTelemetryEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := privacy.Compute(privacy.Input{
+	rep, det, err := privacy.Compute(privacy.Input{
 		Truth: d.Matrix, Published: res.Published, Names: d.Names,
 		Eps: d.Eps, Thresholds: res.Thresholds, Hidden: res.Hidden,
 		Policy: cfg.Policy.String(), Gamma: cfg.Gamma,
@@ -58,13 +60,20 @@ func TestPrivacyTelemetryEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	pub := epoch.Publisher{Root: root}
-	if n, err := pub.PublishWithReport(res.Published, d.Names, shards, rep); err != nil || n != 1 {
+	if n, err := pub.PublishWithReport(res.Published, d.Names, shards, rep, det); err != nil || n != 1 {
 		t.Fatalf("publish = %d, %v", n, err)
 	}
 
-	// (1) The store holds the report on disk, and it audits clean.
+	// (1) The store holds the report on disk, and it audits clean. The
+	// operator detail lands next to it but never leaves the filesystem.
 	if _, err := os.Stat(filepath.Join(root, epoch.EpochsDir, "000001", privacy.FileName)); err != nil {
 		t.Fatalf("publish wrote no privacy.json: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, epoch.EpochsDir, "000001", privacy.DetailFileName)); err != nil {
+		t.Fatalf("publish wrote no privacy_detail.json: %v", err)
+	}
+	if _, err := epoch.LoadDetailAt(root, 1); err != nil {
+		t.Fatalf("detail failed verification: %v", err)
 	}
 	stored, err := epoch.LoadReportAt(root, 1)
 	if err != nil {
@@ -96,17 +105,28 @@ func TestPrivacyTelemetryEndToEnd(t *testing.T) {
 		bases = append(bases, []string{ts.URL})
 	}
 
-	// (2) Every node serves the verified report.
+	// (2) Every node serves the verified report — and only the public
+	// aggregates: the wire payload must carry neither the identity→decile
+	// map nor per-identity violation counts.
 	for k, reps := range bases {
 		resp, err := http.Get(reps[0] + "/v1/privacy")
 		if err != nil {
 			t.Fatal(err)
 		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, leak := range []string{"identity_buckets", "false_positives"} {
+			if strings.Contains(string(raw), leak) {
+				t.Fatalf("node %d /v1/privacy leaks %q:\n%s", k, leak, raw)
+			}
+		}
 		var got privacy.Report
-		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		if err := json.Unmarshal(raw, &got); err != nil {
 			t.Fatalf("node %d privacy decode: %v", k, err)
 		}
-		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK || got.Epoch != 1 || got.Checksum != stored.Checksum {
 			t.Fatalf("node %d /v1/privacy = %d epoch %d checksum %q, want 200 / 1 / %q",
 				k, resp.StatusCode, got.Epoch, got.Checksum, stored.Checksum)

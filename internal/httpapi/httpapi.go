@@ -378,6 +378,12 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
 			return
 		}
+		// Errors are exposure too: a scanner probing with requests that
+		// blow up server-side must leave the same trail as one whose
+		// probes succeed.
+		if h.sink != nil {
+			h.auditRecord(r, srv, "query", owner, -1, http.StatusInternalServerError)
+		}
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}

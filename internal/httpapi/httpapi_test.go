@@ -390,7 +390,7 @@ func TestMetricsExpositionLints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := privacy.Compute(privacy.Input{
+	rep, _, err := privacy.Compute(privacy.Input{
 		Truth: m, Published: m,
 		Names:      []string{"alice", "bob owner"},
 		Eps:        []float64{0.4, 0.8},

@@ -12,6 +12,12 @@ import (
 // FileName is the report's name inside an epoch directory.
 const FileName = "privacy.json"
 
+// DetailFileName is the operator-only detail document's name inside an
+// epoch directory. Unlike privacy.json it is never served over HTTP:
+// it carries per-identity data (ε deciles, exact violation counts) that
+// must not leave the store's filesystem.
+const DetailFileName = "privacy_detail.json"
+
 var (
 	// ErrChecksum reports a privacy.json whose self-checksum does not
 	// match its content — bit rot or tampering after publication.
@@ -122,6 +128,82 @@ func ReadFile(dir string) (*Report, error) {
 		return nil, fmt.Errorf("privacy: %w", err)
 	}
 	return Decode(raw)
+}
+
+// encodeDetail and detailChecksum mirror encode/checksum for the
+// operator detail document: same canonical indented JSON, same
+// checksum-blank CRC.
+func encodeDetail(d *Detail) ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}
+
+func detailChecksum(d *Detail) (string, error) {
+	cp := *d
+	cp.Checksum = ""
+	body, err := encodeDetail(&cp)
+	if err != nil {
+		return "", fmt.Errorf("privacy: %w", err)
+	}
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(body)), nil
+}
+
+// WriteDetailFile seals the detail for epoch and writes it as
+// privacy_detail.json into dir via write-temp + rename. The file is
+// created 0600: it is an operator artifact, readable only by the store
+// owner, and serving paths must never pick it up.
+func WriteDetailFile(dir string, d *Detail, epoch uint64) error {
+	cp := *d
+	cp.Epoch = epoch
+	sum, err := detailChecksum(&cp)
+	if err != nil {
+		return err
+	}
+	cp.Checksum = sum
+	raw, err := encodeDetail(&cp)
+	if err != nil {
+		return fmt.Errorf("privacy: %w", err)
+	}
+	raw = append(raw, '\n')
+	tmp := filepath.Join(dir, "."+DetailFileName+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o600); err != nil {
+		return fmt.Errorf("privacy: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, DetailFileName)); err != nil {
+		return fmt.Errorf("privacy: %w", err)
+	}
+	return nil
+}
+
+// DecodeDetail parses a sealed detail document and verifies its
+// self-checksum, exactly like Decode does for reports.
+func DecodeDetail(raw []byte) (*Detail, error) {
+	var d Detail
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("privacy: %w", err)
+	}
+	if d.Version != Version {
+		return nil, fmt.Errorf("%w: %d (want %d)", ErrVersion, d.Version, Version)
+	}
+	if d.Checksum == "" {
+		return nil, ErrNoChecksum
+	}
+	want, err := detailChecksum(&d)
+	if err != nil {
+		return nil, err
+	}
+	if want != d.Checksum {
+		return nil, fmt.Errorf("%w: have %s, computed %s", ErrChecksum, d.Checksum, want)
+	}
+	return &d, nil
+}
+
+// ReadDetailFile loads and verifies dir/privacy_detail.json.
+func ReadDetailFile(dir string) (*Detail, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, DetailFileName))
+	if err != nil {
+		return nil, fmt.Errorf("privacy: %w", err)
+	}
+	return DecodeDetail(raw)
 }
 
 // DiffResult summarizes how the privacy posture moved between two

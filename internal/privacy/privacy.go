@@ -13,13 +13,21 @@
 // and checks the common-identity mixing defence (published commons vs
 // the ξ target) for hidden ones.
 //
-// The resulting Report deliberately carries aggregates: per-ε-decile
+// Compute produces two artifacts with different audiences. The Report
+// is public — it travels with the published index and is served at
+// GET /v1/privacy — so it carries aggregates only: per-ε-decile
 // histograms of achieved vs guaranteed false-positive rates, counts,
-// and a bounded violation list. Publishing a per-identity achieved FP
-// rate would leak the true frequency of every identity (σ_j·m = pub_j −
-// fp_j·pub_j), exactly the quantity ε-PPI exists to hide; buckets and
-// violation entries (identities already under-protected in the
-// published artifact itself) do not add attacker power beyond M'.
+// and a violation list redacted to name and ε. Publishing a
+// per-identity achieved FP rate or positive count would let anyone
+// recover the true frequency of the identity (σ_j·m = pub_j −
+// fp_j·pub_j), exactly the quantity ε-PPI exists to hide — and a
+// violation entry is where that matters most, because the identity is
+// already under-protected. Likewise the identity→ε-decile map is kept
+// out of the Report: it is the target list for the common-identity
+// attack. Both live in the companion Detail, a store-local operator
+// artifact (privacy_detail.json, mode 0600) that is never served over
+// HTTP; the offline analyzer (cmd/eppi-audit) reads it from the epoch
+// store's filesystem.
 package privacy
 
 import (
@@ -108,16 +116,11 @@ type Report struct {
 	// Buckets histogram the revealed identities by ε decile.
 	Buckets []Bucket `json:"buckets"`
 	// ViolationCount is the total number of Equation 1 violations;
-	// Violations is a sample of at most MaxViolations of them.
+	// Violations is a sample of at most MaxViolations of them, redacted
+	// to name and ε (the full per-identity numbers are in the
+	// operator-only Detail).
 	ViolationCount int         `json:"violation_count"`
 	Violations     []Violation `json:"violations,omitempty"`
-	// IdentityBuckets maps each identity name to its ε decile — coarse
-	// enough not to reveal ε_j, precise enough for the offline analyzer
-	// (cmd/eppi-audit) to join query logs against privacy demand. Keyed
-	// by name because the global column order is not recoverable from a
-	// sharded epoch store. encoding/json sorts map keys, so the
-	// serialization stays canonical for the self-checksum.
-	IdentityBuckets map[string]uint8 `json:"identity_buckets,omitempty"`
 	// Checksum is the CRC32 (IEEE, hex) of this report serialized with
 	// Checksum itself empty — see WriteFile/ReadFile.
 	Checksum string `json:"checksum,omitempty"`
@@ -139,21 +142,58 @@ type Bucket struct {
 	// AchievedFP is the mean achieved false-positive rate over the
 	// bucket's revealed identities with published positives.
 	AchievedFP float64 `json:"achieved_fp"`
-	// MinFP is the worst (lowest) achieved FP rate in the bucket.
+	// MinFP is the worst (lowest) achieved FP rate among the bucket's
+	// revealed identities with published positives; 0 when none have any.
 	MinFP float64 `json:"min_fp"`
 	// Violations counts bucket members failing Equation 1.
 	Violations int `json:"violations"`
 }
 
 // Violation is one identity whose published column fails Equation 1:
-// achieved false-positive rate below its ε. Naming it here reveals
-// nothing new — the deficit is already observable in published M'.
+// achieved false-positive rate below its ε. The public entry carries
+// only the name and the ε floor that was missed — never the achieved
+// rate or the positive counts, which would hand an attacker the exact
+// true provider count (pub − fp) of an identity that is already
+// under-protected. The full numbers live in ViolationDetail inside the
+// operator-only Detail.
 type Violation struct {
+	Name    string  `json:"name"`
+	Epsilon float64 `json:"epsilon"`
+}
+
+// ViolationDetail is the operator-side record of one Equation 1
+// violation, with the exact achieved rate and counts an operator needs
+// to size the repair. It never appears in the served Report.
+type ViolationDetail struct {
 	Name           string  `json:"name"`
 	Epsilon        float64 `json:"epsilon"`
 	AchievedFP     float64 `json:"achieved_fp"`
 	Published      int     `json:"published"`
 	FalsePositives int     `json:"false_positives"`
+}
+
+// Detail is the operator-only companion of a Report: the per-identity
+// data the public report must not carry. It is written next to
+// privacy.json as privacy_detail.json (mode 0600) and read only from
+// the store's filesystem — serving it over HTTP would publish every
+// identity's privacy demand and every violator's true provider count.
+// Field order is load-bearing for the self-checksum, like Report's.
+type Detail struct {
+	Version int    `json:"version"`
+	Epoch   uint64 `json:"epoch,omitempty"`
+	// IdentityBuckets maps each identity name to its ε decile — coarse
+	// enough not to reveal ε_j exactly, precise enough for the offline
+	// analyzer (cmd/eppi-audit) to join query logs against privacy
+	// demand. Keyed by name because the global column order is not
+	// recoverable from a sharded epoch store. encoding/json sorts map
+	// keys, so the serialization stays canonical for the self-checksum.
+	IdentityBuckets map[string]uint8 `json:"identity_buckets"`
+	// Violations is the detailed violation sample, aligned with the
+	// public report's (same identities, same MaxViolations bound).
+	Violations []ViolationDetail `json:"violations,omitempty"`
+	// Checksum is the CRC32 (IEEE, hex) of this document serialized
+	// with Checksum itself empty — see WriteDetailFile/ReadDetailFile.
+	Checksum string `json:"checksum,omitempty"`
 }
 
 // slack absorbs float rounding in the Equation 1 comparison, matching
@@ -179,29 +219,31 @@ func BucketLabel(idx int) string {
 }
 
 // Compute audits published M' against truth M and the configured
-// policy, returning the epoch-agnostic report (the Publisher stamps
-// Epoch when it writes the file).
-func Compute(in Input) (*Report, error) {
+// policy, returning the epoch-agnostic public report and its
+// operator-only detail (the Publisher stamps Epoch when it writes the
+// files). The report may be served; the detail must stay on the
+// operator's filesystem.
+func Compute(in Input) (*Report, *Detail, error) {
 	t, p := in.Truth, in.Published
 	if t == nil || p == nil {
-		return nil, errors.New("privacy: nil matrix")
+		return nil, nil, errors.New("privacy: nil matrix")
 	}
 	if t.Rows() != p.Rows() || t.Cols() != p.Cols() {
-		return nil, fmt.Errorf("privacy: truth %dx%d vs published %dx%d",
+		return nil, nil, fmt.Errorf("privacy: truth %dx%d vs published %dx%d",
 			t.Rows(), t.Cols(), p.Rows(), p.Cols())
 	}
 	n := t.Cols()
 	if len(in.Names) != n || len(in.Eps) != n {
-		return nil, fmt.Errorf("privacy: %d columns, %d names, %d eps", n, len(in.Names), len(in.Eps))
+		return nil, nil, fmt.Errorf("privacy: %d columns, %d names, %d eps", n, len(in.Names), len(in.Eps))
 	}
 	if in.Thresholds != nil && len(in.Thresholds) != n {
-		return nil, fmt.Errorf("privacy: %d columns, %d thresholds", n, len(in.Thresholds))
+		return nil, nil, fmt.Errorf("privacy: %d columns, %d thresholds", n, len(in.Thresholds))
 	}
 	if in.Hidden != nil && len(in.Hidden) != n {
-		return nil, fmt.Errorf("privacy: %d columns, %d hidden flags", n, len(in.Hidden))
+		return nil, nil, fmt.Errorf("privacy: %d columns, %d hidden flags", n, len(in.Hidden))
 	}
 	if !p.Covers(t) {
-		return nil, ErrRecall
+		return nil, nil, ErrRecall
 	}
 
 	m := t.Rows()
@@ -227,14 +269,20 @@ func Compute(in Input) (*Report, error) {
 		r.Commons = 0
 		r.MixedIn = 0
 	}
-	r.IdentityBuckets = make(map[string]uint8, n)
+	det := &Detail{
+		Version:         Version,
+		IdentityBuckets: make(map[string]uint8, n),
+	}
 
-	// epsSum/fpSum accumulate per-bucket means over revealed identities.
+	// epsSum accumulates per-bucket ε means over revealed identities;
+	// fpSum and fpCount accumulate the achieved-FP mean over the subset
+	// of them with published positives (an empty column has no rate).
 	var epsSum, fpSum [NumBuckets]float64
+	var fpCount [NumBuckets]int
 	revealed, satisfied := 0, 0
 	for j := 0; j < n; j++ {
 		idx := BucketIndex(in.Eps[j])
-		r.IdentityBuckets[in.Names[j]] = uint8(idx)
+		det.IdentityBuckets[in.Names[j]] = uint8(idx)
 		b := &r.Buckets[idx]
 
 		pub := p.ColCount(j)
@@ -280,6 +328,10 @@ func Compute(in Input) (*Report, error) {
 			b.Violations++
 			if len(r.Violations) < MaxViolations {
 				r.Violations = append(r.Violations, Violation{
+					Name:    in.Names[j],
+					Epsilon: in.Eps[j],
+				})
+				det.Violations = append(det.Violations, ViolationDetail{
 					Name:           in.Names[j],
 					Epsilon:        in.Eps[j],
 					AchievedFP:     fpRate,
@@ -290,6 +342,7 @@ func Compute(in Input) (*Report, error) {
 		}
 		if pub > 0 {
 			fpSum[idx] += fpRate
+			fpCount[idx]++
 			if fpRate < b.MinFP {
 				b.MinFP = fpRate
 			}
@@ -300,7 +353,12 @@ func Compute(in Input) (*Report, error) {
 		b := &r.Buckets[i]
 		if b.Identities > 0 {
 			b.GuaranteedFP = epsSum[i] / float64(b.Identities)
-			b.AchievedFP = fpSum[i] / float64(b.Identities)
+		}
+		// Achieved-FP statistics are over identities with published
+		// positives only: empty columns have no rate to average, and a
+		// bucket with none of them has no meaningful minimum either.
+		if fpCount[i] > 0 {
+			b.AchievedFP = fpSum[i] / float64(fpCount[i])
 		} else {
 			b.MinFP = 0
 		}
@@ -315,5 +373,5 @@ func Compute(in Input) (*Report, error) {
 			r.MixRatio = float64(r.MixedIn) / float64(r.PublishedCommons)
 		}
 	}
-	return r, nil
+	return r, det, nil
 }

@@ -1,6 +1,7 @@
 package privacy
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -52,7 +53,7 @@ func handInput() Input {
 }
 
 func TestComputeHandScenario(t *testing.T) {
-	r, err := Compute(handInput())
+	r, det, err := Compute(handInput())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,9 +72,18 @@ func TestComputeHandScenario(t *testing.T) {
 	if r.ViolationCount != 1 || len(r.Violations) != 1 {
 		t.Fatalf("violations: count %d, list %v", r.ViolationCount, r.Violations)
 	}
+	// The public violation entry is redacted to name + ε: the exact
+	// counts would reveal the violator's true provider count.
 	v := r.Violations[0]
-	if v.Name != "b" || v.AchievedFP != 0 || v.Published != 2 || v.FalsePositives != 0 {
+	if v.Name != "b" || v.Epsilon != 0.5 {
 		t.Errorf("violation = %+v", v)
+	}
+	if len(det.Violations) != 1 {
+		t.Fatalf("detail violations = %+v", det.Violations)
+	}
+	dv := det.Violations[0]
+	if dv.Name != "b" || dv.Epsilon != 0.5 || dv.AchievedFP != 0 || dv.Published != 2 || dv.FalsePositives != 0 {
+		t.Errorf("detail violation = %+v", dv)
 	}
 	if r.SuccessRatio != 0.5 {
 		t.Errorf("SuccessRatio = %v, want 0.5 (1 of 2 revealed)", r.SuccessRatio)
@@ -93,15 +103,78 @@ func TestComputeHandScenario(t *testing.T) {
 	if r.Buckets[9].Hidden != 1 || r.Buckets[0].Hidden != 1 {
 		t.Errorf("hidden counts: bucket9 %+v bucket0 %+v", r.Buckets[9], r.Buckets[0])
 	}
-	if got := []uint8{r.IdentityBuckets["a"], r.IdentityBuckets["b"], r.IdentityBuckets["c"], r.IdentityBuckets["d"]}; got[0] != 4 || got[1] != 5 || got[2] != 9 || got[3] != 0 {
+	// The identity→decile map lives in the operator detail only.
+	if got := []uint8{det.IdentityBuckets["a"], det.IdentityBuckets["b"], det.IdentityBuckets["c"], det.IdentityBuckets["d"]}; got[0] != 4 || got[1] != 5 || got[2] != 9 || got[3] != 0 {
 		t.Errorf("IdentityBuckets = %v", got)
+	}
+}
+
+// TestReportCarriesNoPerIdentityData pins the redaction the privacy
+// model depends on: the serialized public report must not contain the
+// identity→decile map or per-violation counts, in field name or value.
+func TestReportCarriesNoPerIdentityData(t *testing.T) {
+	r, _, err := Compute(handInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Seal(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// achieved_fp appears only in the per-decile aggregates; the
+	// per-identity forms live in the detail document alone.
+	for _, leak := range []string{"identity_buckets", "false_positives"} {
+		if strings.Contains(string(raw), leak) {
+			t.Errorf("sealed public report contains %q:\n%s", leak, raw)
+		}
+	}
+	var asMap map[string]any
+	if err := json.Unmarshal(raw, &asMap); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range asMap["violations"].([]any) {
+		entry := v.(map[string]any)
+		for k := range entry {
+			if k != "name" && k != "epsilon" {
+				t.Errorf("public violation entry carries %q: %v", k, entry)
+			}
+		}
+	}
+}
+
+// TestBucketMeansSkipEmptyColumns pins the denominator of the bucket
+// statistics: the achieved-FP mean and minimum cover only revealed
+// identities with published positives, and a bucket with none of them
+// reports MinFP 0 instead of its init value 1.
+func TestBucketMeansSkipEmptyColumns(t *testing.T) {
+	truth := bitmat.MustNew(3, 3)
+	truth.Set(0, 0, true)
+	pub := truth.Clone()
+	pub.Set(1, 0, true) // col 0: 1 true + 1 false → rate 0.5
+	// col 1: empty, same decile as col 0; col 2: empty, its own decile.
+	r, _, err := Compute(Input{
+		Truth:     truth,
+		Published: pub,
+		Names:     []string{"a", "b", "c"},
+		Eps:       []float64{0.45, 0.42, 0.85},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4 := r.Buckets[4]
+	if b4.Identities != 2 || b4.AchievedFP != 0.5 || b4.MinFP != 0.5 {
+		t.Errorf("bucket 4 = %+v, want mean/min 0.5 over the one identity with positives", b4)
+	}
+	b8 := r.Buckets[8]
+	if b8.Identities != 1 || b8.AchievedFP != 0 || b8.MinFP != 0 {
+		t.Errorf("bucket 8 = %+v, want zeroed FP stats (no published positives)", b8)
 	}
 }
 
 func TestComputeDerivesHiddenFromAllOnes(t *testing.T) {
 	in := handInput()
 	in.Hidden = nil
-	r, err := Compute(in)
+	r, _, err := Compute(in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +187,7 @@ func TestComputeRejectsRecallBreak(t *testing.T) {
 	in := handInput()
 	in.Published = in.Published.Clone()
 	in.Published.Set(0, 0, false) // drop a true positive
-	if _, err := Compute(in); !errors.Is(err, ErrRecall) {
+	if _, _, err := Compute(in); !errors.Is(err, ErrRecall) {
 		t.Fatalf("err = %v, want ErrRecall", err)
 	}
 }
@@ -122,12 +195,12 @@ func TestComputeRejectsRecallBreak(t *testing.T) {
 func TestComputeShapeErrors(t *testing.T) {
 	in := handInput()
 	in.Eps = in.Eps[:2]
-	if _, err := Compute(in); err == nil {
+	if _, _, err := Compute(in); err == nil {
 		t.Error("short eps accepted")
 	}
 	in = handInput()
 	in.Thresholds = in.Thresholds[:1]
-	if _, err := Compute(in); err == nil {
+	if _, _, err := Compute(in); err == nil {
 		t.Error("short thresholds accepted")
 	}
 }
@@ -163,7 +236,7 @@ func TestChernoffConstructionMeetsBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Compute(Input{
+	r, _, err := Compute(Input{
 		Truth:      d.Matrix,
 		Published:  res.Published,
 		Names:      d.Names,
@@ -190,7 +263,7 @@ func TestChernoffConstructionMeetsBound(t *testing.T) {
 }
 
 func TestFileRoundTrip(t *testing.T) {
-	r, err := Compute(handInput())
+	r, _, err := Compute(handInput())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +287,7 @@ func TestFileRoundTrip(t *testing.T) {
 }
 
 func TestFileTamperDetected(t *testing.T) {
-	r, err := Compute(handInput())
+	r, _, err := Compute(handInput())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +326,7 @@ func TestDecodeRejectsMissingChecksumAndBadVersion(t *testing.T) {
 }
 
 func TestDiff(t *testing.T) {
-	a, err := Compute(handInput())
+	a, _, err := Compute(handInput())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +336,7 @@ func TestDiff(t *testing.T) {
 	// Fix col 1's violation: 2 true + 2 false positives → fp rate 0.5 = ε.
 	in.Published.Set(2, 1, true)
 	in.Published.Set(3, 1, true)
-	b, err := Compute(in)
+	b, _, err := Compute(in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +357,7 @@ func TestDiff(t *testing.T) {
 }
 
 func TestExportMetrics(t *testing.T) {
-	r, err := Compute(handInput())
+	r, _, err := Compute(handInput())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,4 +386,51 @@ func TestExportMetrics(t *testing.T) {
 	// Nil-safety.
 	Export(nil, r)
 	Export(reg, nil)
+}
+
+// TestDetailFileRoundTrip covers the operator-only artifact: sealed
+// write, verified read, operator-only permissions, and tamper
+// detection via the self-checksum.
+func TestDetailFileRoundTrip(t *testing.T) {
+	_, det, err := Compute(handInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteDetailFile(dir, det, 42); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, DetailFileName)
+	if info, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	} else if perm := info.Mode().Perm(); perm != 0o600 {
+		t.Errorf("detail file mode = %o, want 600 (operator-only)", perm)
+	}
+	got, err := ReadDetailFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 42 || got.IdentityBuckets["c"] != 9 || len(got.Violations) != 1 {
+		t.Errorf("round trip mangled detail: %+v", got)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(raw), `"b": 5`, `"b": 6`, 1)
+	if tampered == string(raw) {
+		t.Fatal("tamper target not found in detail")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDetailFile(dir); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+	if _, err := DecodeDetail([]byte(`{"version": 1, "identity_buckets": {}}`)); !errors.Is(err, ErrNoChecksum) {
+		t.Errorf("no checksum: err = %v", err)
+	}
+	if _, err := DecodeDetail([]byte(`{"version": 99, "checksum": "00000000"}`)); !errors.Is(err, ErrVersion) {
+		t.Errorf("bad version: err = %v", err)
+	}
 }

@@ -98,6 +98,14 @@ echo "$PRIV_OUT" | grep -q '"violation_count":0' || {
   echo "smoke: demo construction violates Eq. 1: $PRIV_OUT" >&2
   exit 1
 }
+# The served report must be aggregates-only: the identity→ε-decile map
+# and per-identity counts live in the operator detail, never on the wire.
+for leak in identity_buckets false_positives; do
+  if echo "$PRIV_OUT" | grep -q "$leak"; then
+    echo "smoke: /v1/privacy leaks per-identity data ($leak): $PRIV_OUT" >&2
+    exit 1
+  fi
+done
 echo "smoke: privacy report ok"
 
 # The trace ring must hold the query's trace: valid Chrome trace JSON
@@ -188,6 +196,12 @@ echo "smoke: gateway ok"
   echo "smoke: publish wrote no privacy.json into the epoch store" >&2
   exit 1
 }
+# The operator-owned store also gets the per-identity detail document,
+# for eppi-audit's ε-decile join — filesystem-only, never served.
+[ -f "$STORE/epochs/000001/privacy_detail.json" ] || {
+  echo "smoke: publish wrote no privacy_detail.json into the epoch store" >&2
+  exit 1
+}
 
 "$BIN" -addr "$EP0_ADDR" -epoch-dir "$STORE" -shard 0/2 -epoch-poll 200ms -audit-dir "$AUDIT" -log-format json &
 PIDS="$PIDS $!"
@@ -230,10 +244,15 @@ echo "smoke: epoch 1 serving ok"
 
 # Each node verifies and serves the published epoch's privacy report,
 # and the gateway aggregates a consistent fleet view.
-curl -sf "http://$EP0_ADDR/v1/privacy" | grep -q '"epoch":1' || {
+EP0_PRIV=$(curl -sf "http://$EP0_ADDR/v1/privacy")
+echo "$EP0_PRIV" | grep -q '"epoch":1' || {
   echo "smoke: node /v1/privacy not serving epoch 1's report" >&2
   exit 1
 }
+if echo "$EP0_PRIV" | grep -q identity_buckets; then
+  echo "smoke: node /v1/privacy leaks the identity→decile map" >&2
+  exit 1
+fi
 EPGW_PRIV=$(curl -sf "http://$EPGW_ADDR/v1/privacy")
 echo "$EPGW_PRIV" | grep -q '"status":"ok"' || {
   echo "smoke: gateway privacy aggregate not ok: $EPGW_PRIV" >&2
