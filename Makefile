@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-baseline gateway-bench race fuzz smoke experiments examples clean
+.PHONY: all build test cover vet bench bench-baseline gateway-bench race fuzz smoke experiments examples clean
 
 all: build vet test
 
@@ -14,8 +14,16 @@ vet:
 
 # -timeout turns a deadlocked parallel construction (a hung MPC session,
 # a leaked worker) into a stack-dumping failure instead of a stuck CI job.
+# -shuffle=on randomizes test order so inter-test state dependencies
+# cannot hide; the seed is printed on failure for replay.
 test:
-	$(GO) test -timeout 10m ./...
+	$(GO) test -timeout 10m -shuffle=on ./...
+
+# Coverage profile plus the per-function summary CI uploads as an
+# artifact (coverage.out for tooling, coverage.txt for humans).
+cover:
+	$(GO) test -timeout 10m -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tee coverage.txt
 
 race:
 	$(GO) test -race -timeout 15m ./...
@@ -38,13 +46,16 @@ bench-baseline:
 # self-contained loopback shard fleet) to BENCH_gateway.json, tracked next
 # to BENCH_baseline.json.
 gateway-bench:
-	$(GO) run ./cmd/eppi-gateway -selfbench 2000 -baseline BENCH_gateway.json
+	$(GO) run ./cmd/eppi-gateway -selfbench 20000 -baseline BENCH_gateway.json
+	scripts/bench_guard.sh BENCH_gateway.json
 
-# Short fuzz session over every fuzz target.
+# Short fuzz session over every fuzz target. The batch equivalence fuzz
+# gets the longest slice: it drives the whole gateway query path.
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshalBinary -fuzztime=10s ./internal/bitmat/
 	$(GO) test -fuzz=FuzzBeta -fuzztime=10s ./internal/mathx/
 	$(GO) test -fuzz=FuzzLambda -fuzztime=10s ./internal/mathx/
+	$(GO) test -fuzz=FuzzBatchEquivalence -fuzztime=30s -run '^$$' ./internal/gateway/
 
 # Regenerate every paper table and figure at full scale.
 experiments:

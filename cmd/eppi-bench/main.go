@@ -24,12 +24,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"context"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"

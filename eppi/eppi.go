@@ -30,6 +30,7 @@
 package eppi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -401,6 +402,18 @@ func (n *Network) Query(owner string) ([]int, error) {
 		return nil, err
 	}
 	return srv.Query(owner)
+}
+
+// QueryBatch resolves many owners in one pass over the current index.
+// Every item is answered by the same snapshot, and a missing owner is an
+// in-band miss (Found=false) rather than an error, so one unknown
+// identity does not fail the rest of the batch.
+func (n *Network) QueryBatch(ctx context.Context, owners []string) ([]index.BatchItem, error) {
+	srv, err := n.serverHandle()
+	if err != nil {
+		return nil, err
+	}
+	return srv.QueryBatch(ctx, owners), nil
 }
 
 // Report returns the last construction report (nil before ConstructPPI).

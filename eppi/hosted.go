@@ -1,6 +1,7 @@
 package eppi
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -88,6 +89,12 @@ func ReadHostedService(r io.Reader) (*HostedService, error) {
 // Query implements QueryPPI on the hosted copy.
 func (h *HostedService) Query(owner string) ([]int, error) {
 	return h.server.Query(owner)
+}
+
+// QueryBatch implements the batched QueryPPI on the hosted copy: one
+// snapshot answers every owner, misses are in-band (Found=false).
+func (h *HostedService) QueryBatch(ctx context.Context, owners []string) []index.BatchItem {
+	return h.server.QueryBatch(ctx, owners)
 }
 
 // Providers returns the provider count the index covers.

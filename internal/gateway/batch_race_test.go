@@ -1,0 +1,117 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// TestBatchLookupRaceUnderEpochSwap hammers one gateway with concurrent
+// batched lookups, single lookups and a mid-flight epoch hot-swap on a
+// 2-shard fleet — the CI race job runs it by name, next to
+// TestEpochHotSwapEndToEnd. The bars:
+//
+//  1. zero failed requests across the swap window;
+//  2. every row matches the canonical answer of the epoch it claims;
+//  3. no mixed-snapshot rows: within one batch response, the non-cached
+//     rows of one shard all carry the same epoch (one sub-batch request =
+//     one snapshot).
+func TestBatchLookupRaceUnderEpochSwap(t *testing.T) {
+	fl := buildFuzzFleet(t)
+	fl.setEpoch(1)
+	g, err := New(Config{Shards: fl.bases, Client: fastClient(), ProbePeriod: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	const batchLen = 8
+	ctx := context.Background()
+	var stop atomic.Bool
+	var batches, singles, failed atomic.Int64
+	var wg sync.WaitGroup
+
+	// checkBatch validates bars 2 and 3 for one batch response; it
+	// reports (instead of t.Fatal) so every worker drains cleanly.
+	checkBatch := func(owners []string, answers []BatchAnswer) {
+		epochBy := map[int]uint64{}
+		for i, row := range answers {
+			if row.Err != nil {
+				failed.Add(1)
+				t.Errorf("batch row %q: %v", row.Owner, row.Err)
+				continue
+			}
+			if row.Owner != owners[i] {
+				failed.Add(1)
+				t.Errorf("batch row %d echoes %q, want %q", i, row.Owner, owners[i])
+				continue
+			}
+			canon, indexed := fl.truth[row.Epoch][row.Owner]
+			if row.Found != indexed || (indexed && fmt.Sprint(row.Providers) != canon) {
+				failed.Add(1)
+				t.Errorf("row %q claims epoch %d but answers %v/%v (epoch-%d canon %v/%s)",
+					row.Owner, row.Epoch, row.Found, row.Providers, row.Epoch, indexed, canon)
+				continue
+			}
+			if row.Cached {
+				continue
+			}
+			k := shard.For(row.Owner, 2)
+			if seen, ok := epochBy[k]; ok && seen != row.Epoch {
+				failed.Add(1)
+				t.Errorf("mixed snapshot in one batch: shard %d rows at epochs %d and %d", k, seen, row.Epoch)
+			}
+			epochBy[k] = row.Epoch
+		}
+	}
+
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]BatchAnswer, batchLen)
+			owners := make([]string, batchLen)
+			for i := 0; !stop.Load(); i++ {
+				for j := range owners {
+					owners[j] = fl.names[(i*batchLen+j*3+w)%len(fl.names)]
+				}
+				checkBatch(owners, g.LookupBatchInto(ctx, owners, buf))
+				batches.Add(1)
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				owner := fl.names[(i*7+w)%len(fl.names)]
+				if _, err := g.Lookup(ctx, owner); err != nil {
+					failed.Add(1)
+					t.Errorf("single Lookup(%q): %v", owner, err)
+				}
+				singles.Add(1)
+			}
+		}(w)
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	fl.setEpoch(2) // hot-swap under fire
+	time.Sleep(60 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	if failed.Load() != 0 {
+		t.Fatalf("%d failures across %d batches + %d singles",
+			failed.Load(), batches.Load(), singles.Load())
+	}
+	if batches.Load() == 0 || singles.Load() == 0 {
+		t.Fatalf("hammer too idle (batches=%d singles=%d) — the race window proved nothing",
+			batches.Load(), singles.Load())
+	}
+}

@@ -46,10 +46,13 @@ type cache struct {
 	items map[string]*list.Element
 }
 
+// cacheEntry is kept to exactly 64 bytes — key header 16 + val 40 +
+// expiresNs 8 — so a probe touches one cache line. The expiry deadline
+// is unix nanos rather than a time.Time (24 bytes) for that reason.
 type cacheEntry struct {
-	key     string
-	val     lookupResult
-	expires time.Time // zero: never
+	key       string
+	val       lookupResult
+	expiresNs int64 // 0: never
 }
 
 // newCache returns an LRU holding up to capacity entries; capacity <= 0
@@ -72,7 +75,7 @@ func (c *cache) get(key string) (lookupResult, bool) {
 		return lookupResult{}, false
 	}
 	ent := el.Value.(*cacheEntry)
-	if !ent.expires.IsZero() && time.Now().After(ent.expires) {
+	if ent.expiresNs != 0 && time.Now().UnixNano() > ent.expiresNs {
 		c.ll.Remove(el)
 		delete(c.items, key)
 		return lookupResult{}, false
@@ -85,24 +88,108 @@ func (c *cache) put(key string, val lookupResult) {
 	if c == nil {
 		return
 	}
-	var expires time.Time
+	var expires int64
 	if c.ttl > 0 {
-		expires = time.Now().Add(c.ttl)
+		expires = time.Now().Add(c.ttl).UnixNano()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		ent := el.Value.(*cacheEntry)
 		ent.val = val
-		ent.expires = expires
+		ent.expiresNs = expires
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, expires: expires})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, expiresNs: expires})
 	if c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// getBatch probes the cache for every owner under one epoch, filling
+// answers[i] for each present entry and returning the hit count. It
+// takes the lock once for the whole batch and builds lookup keys in a
+// reused buffer (a map probe via string([]byte) does not allocate), so
+// the per-owner cost of a warm batch is one map lookup plus one row
+// write — this is the fast path the batched lookup pipeline exists for,
+// and why it writes BatchAnswer rows directly instead of handing values
+// through a callback. Unlike get, a batch probe does not promote entries
+// to the LRU front: splicing the list (and its GC write barriers) per
+// row costs more than the whole probe, and a bulk scan refreshing 64
+// entries at once would crowd out genuinely hot single lookups anyway.
+// Expired entries are evicted and reported as misses, exactly like get.
+func (c *cache) getBatch(epoch uint64, owners []string, answers []BatchAnswer) (hits int) {
+	if c == nil {
+		return 0
+	}
+	keyBuf := strconv.AppendUint(make([]byte, 0, 64), epoch, 10)
+	keyBuf = append(keyBuf, 0)
+	prefixLen := len(keyBuf)
+	var nowNs int64
+	if c.ttl > 0 {
+		nowNs = time.Now().UnixNano()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, owner := range owners {
+		keyBuf = append(keyBuf[:prefixLen], owner...)
+		el, ok := c.items[string(keyBuf)]
+		if !ok {
+			continue
+		}
+		ent := el.Value.(*cacheEntry)
+		if ent.expiresNs != 0 && nowNs > ent.expiresNs {
+			c.ll.Remove(el)
+			delete(c.items, ent.key)
+			continue
+		}
+		hits++
+		a := &answers[i]
+		a.Owner = owner
+		a.Found = !ent.val.notFound
+		a.Providers = ent.val.providers
+		a.Epoch = ent.val.epoch
+		a.Cached = true
+		a.Err = nil // answers may be a reused buffer
+	}
+	return hits
+}
+
+// cachePut is one pending putBatch insertion.
+type cachePut struct {
+	key string
+	val lookupResult
+}
+
+// putBatch inserts every entry under one lock acquisition; semantics per
+// entry match put.
+func (c *cache) putBatch(puts []cachePut) {
+	if c == nil || len(puts) == 0 {
+		return
+	}
+	var expires int64
+	if c.ttl > 0 {
+		expires = time.Now().Add(c.ttl).UnixNano()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range puts {
+		if el, ok := c.items[p.key]; ok {
+			ent := el.Value.(*cacheEntry)
+			ent.val = p.val
+			ent.expiresNs = expires
+			c.ll.MoveToFront(el)
+			continue
+		}
+		c.items[p.key] = c.ll.PushFront(&cacheEntry{key: p.key, val: p.val, expiresNs: expires})
+		if c.ll.Len() > c.cap {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheEntry).key)
+		}
 	}
 }
 

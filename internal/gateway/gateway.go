@@ -138,19 +138,21 @@ type Gateway struct {
 // instruments are the gateway's registry-backed counters. All fields
 // no-op when nil (no registry).
 type instruments struct {
-	lookups    *metrics.Counter
-	searches   *metrics.Counter
-	cacheHits  *metrics.Counter
-	cacheMiss  *metrics.Counter
-	hedges     *metrics.Counter
-	hedgeWins  *metrics.Counter
-	sheds      *metrics.Counter
-	failovers  *metrics.Counter
-	upstream   *metrics.Histogram
-	inflightG  *metrics.Gauge
-	cacheSizeG *metrics.Gauge
-	epochG     *metrics.Gauge // highest upstream-reported epoch
-	skewG      *metrics.Gauge // epoch spread across shards, last fan-out
+	lookups     *metrics.Counter
+	searches    *metrics.Counter
+	batchSize   *metrics.Histogram
+	batchSubreq *metrics.Counter
+	cacheHits   *metrics.Counter
+	cacheMiss   *metrics.Counter
+	hedges      *metrics.Counter
+	hedgeWins   *metrics.Counter
+	sheds       *metrics.Counter
+	failovers   *metrics.Counter
+	upstream    *metrics.Histogram
+	inflightG   *metrics.Gauge
+	cacheSizeG  *metrics.Gauge
+	epochG      *metrics.Gauge // highest upstream-reported epoch
+	skewG       *metrics.Gauge // epoch spread across shards, last fan-out
 }
 
 // New builds a gateway over cfg.Shards and starts its health prober.
@@ -192,19 +194,21 @@ func New(cfg Config) (*Gateway, error) {
 	g.gate = newGate(maxInFlight, queueWait)
 	if g.reg != nil {
 		g.inst = instruments{
-			lookups:    g.reg.Counter("eppi_gateway_lookups_total", "Lookups admitted by the gateway."),
-			searches:   g.reg.Counter("eppi_gateway_searches_total", "Fan-out searches admitted by the gateway."),
-			cacheHits:  g.reg.Counter("eppi_gateway_cache_hits_total", "Lookups answered from the response cache."),
-			cacheMiss:  g.reg.Counter("eppi_gateway_cache_misses_total", "Lookups that went upstream."),
-			hedges:     g.reg.Counter("eppi_gateway_hedges_total", "Hedged (duplicate) upstream requests fired."),
-			hedgeWins:  g.reg.Counter("eppi_gateway_hedge_wins_total", "Lookups answered by the hedge, not the primary."),
-			sheds:      g.reg.Counter("eppi_gateway_shed_total", "Requests shed by the admission gate (503)."),
-			failovers:  g.reg.Counter("eppi_gateway_failovers_total", "Lookups that fell over to a non-primary replica after a failure."),
-			upstream:   g.reg.Histogram("eppi_gateway_upstream_seconds", "Upstream shard request latency.", metrics.DefDurationBuckets),
-			inflightG:  g.reg.Gauge("eppi_gateway_inflight", "Requests currently admitted."),
-			cacheSizeG: g.reg.Gauge("eppi_gateway_cache_entries", "Live response-cache entries."),
-			epochG:     g.reg.Gauge("eppi_gateway_epoch", "Highest publication epoch reported by any upstream shard."),
-			skewG:      g.reg.Gauge("eppi_gateway_epoch_skew", "Epoch spread (max-min) across shards in the last fan-out search; 0 when the fleet agrees."),
+			lookups:     g.reg.Counter("eppi_gateway_lookups_total", "Lookups admitted by the gateway."),
+			searches:    g.reg.Counter("eppi_gateway_searches_total", "Fan-out searches admitted by the gateway."),
+			batchSize:   g.reg.Histogram("eppi_batch_size", "Owners per batched lookup request.", httpapi.BatchSizeBuckets),
+			batchSubreq: g.reg.Counter("eppi_gateway_batch_subrequests_total", "Per-shard sub-batch requests fired by batched lookups (hedges and failover attempts included)."),
+			cacheHits:   g.reg.Counter("eppi_gateway_cache_hits_total", "Lookups answered from the response cache."),
+			cacheMiss:   g.reg.Counter("eppi_gateway_cache_misses_total", "Lookups that went upstream."),
+			hedges:      g.reg.Counter("eppi_gateway_hedges_total", "Hedged (duplicate) upstream requests fired."),
+			hedgeWins:   g.reg.Counter("eppi_gateway_hedge_wins_total", "Lookups answered by the hedge, not the primary."),
+			sheds:       g.reg.Counter("eppi_gateway_shed_total", "Requests shed by the admission gate (503)."),
+			failovers:   g.reg.Counter("eppi_gateway_failovers_total", "Lookups that fell over to a non-primary replica after a failure."),
+			upstream:    g.reg.Histogram("eppi_gateway_upstream_seconds", "Upstream shard request latency.", metrics.DefDurationBuckets),
+			inflightG:   g.reg.Gauge("eppi_gateway_inflight", "Requests currently admitted."),
+			cacheSizeG:  g.reg.Gauge("eppi_gateway_cache_entries", "Live response-cache entries."),
+			epochG:      g.reg.Gauge("eppi_gateway_epoch", "Highest publication epoch reported by any upstream shard."),
+			skewG:       g.reg.Gauge("eppi_gateway_epoch_skew", "Epoch spread (max-min) across shards in the last fan-out search; 0 when the fleet agrees."),
 		}
 		g.reg.OnCollect(func() { g.inst.cacheSizeG.Set(float64(g.cache.len())) })
 		g.reg.Gauge("eppi_gateway_shards", "Shard count the gateway routes over.").Set(float64(len(cfg.Shards)))
@@ -341,7 +345,21 @@ func (g *Gateway) fetch(ctx context.Context, owner string) (lookupResult, error)
 	defer sp.End()
 
 	candidates := g.shards[k].candidates()
-	res, winner, hedged, err := g.race(ctx, owner, candidates)
+	res, winner, hedged, err := raceReplicas(g, ctx, candidates,
+		func(ctx context.Context, r *replica, asp *trace.Span) (lookupResult, error) {
+			providers, epoch, err := r.client.QueryEpoch(ctx, owner)
+			asp.SetUint("epoch", epoch)
+			switch {
+			case err == nil:
+				return lookupResult{providers: providers, epoch: epoch}, nil
+			case errors.Is(err, httpapi.ErrOwnerNotFound):
+				// A 404 is a definitive, epoch-attributed answer too: "this
+				// owner is absent from epoch N" may stop holding at N+1.
+				return lookupResult{notFound: true, epoch: epoch}, nil
+			default:
+				return lookupResult{}, err
+			}
+		})
 	if err != nil {
 		sp.Set("error", err.Error())
 		return lookupResult{}, err
@@ -354,17 +372,22 @@ func (g *Gateway) fetch(ctx context.Context, owner string) (lookupResult, error)
 	return res, nil
 }
 
-// race tries candidates in order: the first is fired immediately, the
-// next when the hedge delay elapses without an answer or the previous
+// raceReplicas tries candidates in order: the first is fired immediately,
+// the next when the hedge delay elapses without an answer or the previous
 // attempt fails. The first definitive answer wins; remaining attempts are
-// cancelled. A 404 is definitive (the shard authoritatively does not know
-// the owner); transport errors and 5xx fall through to the next replica.
-func (g *Gateway) race(ctx context.Context, owner string, candidates []*replica) (lookupResult, int, bool, error) {
+// cancelled. attempt resolves one replica under a "gateway.upstream" span
+// and must return definitive negatives (a 404) as values, not errors —
+// an error falls through to the next replica. Both the single-owner and
+// the batched lookup path race through here, so hedging, failover and
+// the upstream latency instruments behave identically for both.
+func raceReplicas[T any](g *Gateway, ctx context.Context, candidates []*replica,
+	attempt func(context.Context, *replica, *trace.Span) (T, error)) (T, int, bool, error) {
 	type outcome struct {
-		res lookupResult
+		res T
 		err error
 		idx int
 	}
+	var zero T
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan outcome, len(candidates))
@@ -375,27 +398,16 @@ func (g *Gateway) race(ctx context.Context, owner string, candidates []*replica)
 			sp.Set("replica", r.base)
 			sp.SetInt("attempt", idx)
 			start := time.Now()
-			providers, epoch, err := r.client.QueryEpoch(raceCtx, owner)
+			res, err := attempt(raceCtx, r, sp)
 			elapsed := time.Since(start)
 			g.inst.upstream.Observe(elapsed.Seconds())
-			if err == nil || errors.Is(err, httpapi.ErrOwnerNotFound) {
+			if err == nil {
 				g.lat.observe(elapsed)
-			}
-			if err != nil {
+			} else {
 				sp.Set("error", err.Error())
 			}
-			sp.SetUint("epoch", epoch)
 			sp.End()
-			switch {
-			case err == nil:
-				results <- outcome{res: lookupResult{providers: providers, epoch: epoch}, idx: idx}
-			case errors.Is(err, httpapi.ErrOwnerNotFound):
-				// A 404 is an epoch-attributed answer too: "this owner is
-				// absent from epoch N" may stop holding at N+1.
-				results <- outcome{res: lookupResult{notFound: true, epoch: epoch}, idx: idx}
-			default:
-				results <- outcome{err: err, idx: idx}
-			}
+			results <- outcome{res: res, err: err, idx: idx}
 		}()
 	}
 
@@ -415,7 +427,7 @@ func (g *Gateway) race(ctx context.Context, owner string, candidates []*replica)
 	for {
 		select {
 		case <-ctx.Done():
-			return lookupResult{}, 0, hedged, ctx.Err()
+			return zero, 0, hedged, ctx.Err()
 		case <-hedgeC:
 			hedgeC = nil
 			if next < len(candidates) {
@@ -443,10 +455,200 @@ func (g *Gateway) race(ctx context.Context, owner string, candidates []*replica)
 				next++
 				inFlight++
 			} else if inFlight == 0 {
-				return lookupResult{}, 0, hedged, fmt.Errorf("%w (%d tried): %v", errAllReplicasFailed, len(candidates), firstErr)
+				return zero, 0, hedged, fmt.Errorf("%w (%d tried): %v", errAllReplicasFailed, len(candidates), firstErr)
 			}
 		}
 	}
+}
+
+// BatchAnswer is one per-owner outcome of a batched gateway lookup.
+type BatchAnswer struct {
+	// Owner is the queried identity, echoed back.
+	Owner string
+	// Found and Providers mirror a single Lookup: Found false means the
+	// owning shard authoritatively does not know the owner.
+	Found     bool
+	Providers []int
+	// Epoch is the publication epoch of the answer. A cache hit reports
+	// the epoch it was fetched under, exactly like a single lookup would.
+	Epoch uint64
+	// Cached reports whether the row was served from the response cache.
+	// Rows with Cached false that share a shard came from one sub-batch
+	// request, hence one snapshot: their Epochs are always equal.
+	Cached bool
+	// Err is set when the owning shard could not answer (every replica
+	// failed). Partial shard failures surface here per owner — the other
+	// rows of the batch are unaffected.
+	Err error
+}
+
+// LookupBatch resolves many owners in one pass: cache hits are served
+// without touching upstreams, the misses are grouped by owning shard
+// (shard.Group — duplicates collapse), one sub-batch request per shard is
+// fired concurrently through the same hedging/failover race as single
+// lookups, shard failures degrade to per-owner errors, and every batch
+// answer back-fills the (epoch, owner) response cache. Answers are
+// position-matched to owners. It is the programmatic form of
+// POST /v1/query/batch.
+func (g *Gateway) LookupBatch(ctx context.Context, owners []string) []BatchAnswer {
+	return g.LookupBatchInto(ctx, owners, nil)
+}
+
+// LookupBatchInto is LookupBatch resolving into buf's backing storage, so
+// a caller looping over batches (the selfbench, a bulk re-resolver) does
+// not feed the garbage collector one answer slice per call — at warm
+// batch rates the GC assists otherwise dominate the tail. buf is grown
+// when too small; the returned slice is the answer, always len(owners).
+func (g *Gateway) LookupBatchInto(ctx context.Context, owners []string, buf []BatchAnswer) []BatchAnswer {
+	ctx, sp := trace.StartChild(ctx, "gateway.batch")
+	sp.SetInt("batch_size", len(owners))
+	defer sp.End()
+	g.inst.lookups.Add(uint64(len(owners)))
+	g.inst.batchSize.Observe(float64(len(owners)))
+	var answers []BatchAnswer
+	if cap(buf) >= len(owners) {
+		answers = buf[:len(owners)]
+		// The merge path below distinguishes misses by the Cached flag, so
+		// flags left over from the buffer's previous life must be reset.
+		// (A full clear would do, but resetting one bool per row is ~4×
+		// cheaper than zeroing 72 bytes; hit rows are rewritten whole and
+		// miss rows are assigned whole in the merge, so nothing else
+		// stale is ever read.)
+		for i := range answers {
+			answers[i].Cached = false
+		}
+	} else {
+		answers = make([]BatchAnswer, len(owners))
+	}
+
+	// Cache pass: one lock acquisition and one epoch load for the whole
+	// batch — the warm path is why batching pays. The Cached flag doubles
+	// as the hit marker: an unresolved row keeps Cached false.
+	hits := g.cache.getBatch(g.epoch.Load(), owners, answers)
+	g.inst.cacheHits.Add(uint64(hits))
+	g.inst.cacheMiss.Add(uint64(len(owners) - hits))
+	sp.SetInt("cache_hits", hits)
+	if hits == len(owners) {
+		return answers
+	}
+
+	missOwners := make([]string, 0, len(owners)-hits)
+	for i := range answers {
+		if !answers[i].Cached {
+			missOwners = append(missOwners, owners[i])
+		}
+	}
+	groups := shard.Group(missOwners, len(g.shards))
+	type shardOut struct {
+		rows  []httpapi.BatchRow
+		epoch uint64
+		err   error
+	}
+	outs := make([]shardOut, len(groups))
+	var wg sync.WaitGroup
+	for k, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(k int, group []string) {
+			defer wg.Done()
+			rows, epoch, err := g.fetchBatch(ctx, k, group)
+			outs[k] = shardOut{rows: rows, epoch: epoch, err: err}
+		}(k, group)
+	}
+	wg.Wait()
+
+	// Merge the sub-batches: shard failures become per-owner errors, and
+	// successful rows back-fill the cache under the epoch that answered
+	// them (mid-swap, a newer shard's rows must not be findable under the
+	// old epoch — same rule as single lookups).
+	byOwner := make(map[string]BatchAnswer, len(missOwners))
+	puts := make([]cachePut, 0, len(missOwners))
+	var maxEpoch uint64
+	failedShards := 0
+	for k := range outs {
+		out := &outs[k]
+		if len(groups[k]) == 0 {
+			continue
+		}
+		if out.err != nil {
+			failedShards++
+			for _, owner := range groups[k] {
+				byOwner[owner] = BatchAnswer{Owner: owner,
+					Err: fmt.Errorf("shard %d: %w", k, out.err)}
+			}
+			continue
+		}
+		if out.epoch > maxEpoch {
+			maxEpoch = out.epoch
+		}
+		for _, row := range out.rows {
+			providers := row.Providers
+			if row.Found && providers == nil {
+				providers = []int{}
+			}
+			byOwner[row.Owner] = BatchAnswer{Owner: row.Owner, Found: row.Found,
+				Providers: providers, Epoch: out.epoch}
+			puts = append(puts, cachePut{
+				key: cacheKey(out.epoch, row.Owner),
+				val: lookupResult{providers: providers, notFound: !row.Found, epoch: out.epoch},
+			})
+		}
+	}
+	g.observeEpoch(maxEpoch)
+	g.cache.putBatch(puts)
+	for i := range answers {
+		if answers[i].Cached {
+			continue
+		}
+		ans, resolved := byOwner[owners[i]]
+		if !resolved {
+			// Defensive: a shard answered its sub-batch but dropped a row.
+			ans = BatchAnswer{Owner: owners[i],
+				Err: fmt.Errorf("gateway: shard %d returned no row for %q",
+					shard.For(owners[i], len(g.shards)), owners[i])}
+		}
+		answers[i] = ans
+	}
+	if failedShards > 0 {
+		sp.SetInt("failed_shards", failedShards)
+	}
+	return answers
+}
+
+// fetchBatch resolves one shard's sub-batch upstream through the same
+// replica race (hedging, failover) as single-owner fetches.
+func (g *Gateway) fetchBatch(ctx context.Context, k int, owners []string) ([]httpapi.BatchRow, uint64, error) {
+	ctx, sp := trace.StartChild(ctx, "gateway.batch_shard")
+	sp.SetInt("shard", k)
+	sp.SetInt("sub_batch", len(owners))
+	defer sp.End()
+	type batchOut struct {
+		rows  []httpapi.BatchRow
+		epoch uint64
+	}
+	candidates := g.shards[k].candidates()
+	out, winner, hedged, err := raceReplicas(g, ctx, candidates,
+		func(ctx context.Context, r *replica, asp *trace.Span) (batchOut, error) {
+			g.inst.batchSubreq.Inc()
+			rows, epoch, err := r.client.QueryBatchEpoch(ctx, owners)
+			asp.SetUint("epoch", epoch)
+			if err != nil {
+				return batchOut{}, err
+			}
+			return batchOut{rows: rows, epoch: epoch}, nil
+		})
+	if err != nil {
+		sp.Set("error", err.Error())
+		return nil, 0, err
+	}
+	if winner > 0 {
+		g.inst.failovers.Inc()
+	}
+	sp.SetInt("winner_replica", winner)
+	sp.Set("hedged", fmt.Sprintf("%v", hedged))
+	return out.rows, out.epoch, nil
 }
 
 // SearchAll fans a substring search out to every shard (one healthy

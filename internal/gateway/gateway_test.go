@@ -210,7 +210,7 @@ func TestLatencyWindowPercentile(t *testing.T) {
 // buildShardedFixture constructs a real index, partitions it, and serves
 // each shard over httptest; returns the full index (for ground truth),
 // the owner names, and per-shard replica URL lists.
-func buildShardedFixture(t *testing.T, providers, owners, shards, replicasPer int) (*index.Server, []string, [][]string, [][]*httptest.Server) {
+func buildShardedFixture(t testing.TB, providers, owners, shards, replicasPer int) (*index.Server, []string, [][]string, [][]*httptest.Server) {
 	t.Helper()
 	d, err := workload.GenerateZipf(workload.ZipfConfig{
 		Providers: providers, Owners: owners, Exponent: 1.1, Seed: 11,

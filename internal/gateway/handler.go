@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -63,7 +64,7 @@ func (g *gate) inFlight() int { return len(g.sem) }
 type GatewayHealthz struct {
 	Status   string     `json:"status"`
 	Shards   int        `json:"shards"`
-	Epoch    uint64     `json:"epoch"` // highest upstream-reported epoch
+	Epoch    uint64     `json:"epoch"`    // highest upstream-reported epoch
 	Replicas [][]string `json:"replicas"` // [shard][replica] = "up" | "down"
 }
 
@@ -79,6 +80,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) buildMux() {
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc("GET /v1/query", g.wrap("query", true, g.handleQuery))
+	g.mux.HandleFunc("POST /v1/query/batch", g.wrap("batch", true, g.handleBatch))
 	g.mux.HandleFunc("GET /v1/search", g.wrap("search", true, g.handleSearch))
 	g.mux.HandleFunc("GET /v1/stats", g.wrap("stats", false, g.handleStats))
 	g.mux.HandleFunc("GET /v1/privacy", g.wrap("privacy", false, g.handlePrivacy))
@@ -251,6 +253,63 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		g.auditRecord(r, "query", owner, ownerShard, res.epoch, len(providers), http.StatusOK)
 	}
 	writeJSON(w, http.StatusOK, httpapi.QueryResponse{Owner: owner, Providers: providers})
+}
+
+// handleBatch is the gateway's POST /v1/query/batch: the whole batch is
+// admitted (and shed) as one request, routed per shard by LookupBatch.
+// The response is always 200 with per-owner rows — a missing owner or an
+// unreachable shard degrades that row, never the batch. The epoch header
+// carries the gateway's fleet view after the batch (each row's authoritative
+// epoch is the snapshot of the sub-batch that answered it).
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, httpapi.MaxBatchBody)
+	var req httpapi.BatchQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("batch body exceeds %d bytes", httpapi.MaxBatchBody)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad batch request body: " + err.Error()})
+		return
+	}
+	if len(req.Owners) > httpapi.MaxBatchOwners {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{Error: fmt.Sprintf("batch of %d owners exceeds the %d cap", len(req.Owners), httpapi.MaxBatchOwners)})
+		return
+	}
+	// A scanner batching its probes must trip the hot-owner tracker and
+	// leave an audit trail exactly like k single queries would.
+	for _, owner := range req.Owners {
+		g.hot.Observe(owner)
+	}
+	answers := g.LookupBatch(r.Context(), req.Owners)
+	rows := make([]httpapi.BatchRow, len(answers))
+	for i, ans := range answers {
+		rows[i] = httpapi.BatchRow{Owner: ans.Owner, Found: ans.Found, Providers: ans.Providers}
+		if rows[i].Providers == nil {
+			rows[i].Providers = []int{}
+		}
+		if ans.Err != nil {
+			rows[i].Error = ans.Err.Error()
+		}
+	}
+	if g.sink != nil {
+		for _, ans := range answers {
+			ownerShard := shard.For(ans.Owner, len(g.shards))
+			switch {
+			case ans.Err != nil:
+				g.auditRecord(r, "batch", ans.Owner, ownerShard, ans.Epoch, -1, http.StatusBadGateway)
+			case !ans.Found:
+				g.auditRecord(r, "batch", ans.Owner, ownerShard, ans.Epoch, -1, http.StatusNotFound)
+			default:
+				g.auditRecord(r, "batch", ans.Owner, ownerShard, ans.Epoch, len(ans.Providers), http.StatusOK)
+			}
+		}
+	}
+	w.Header().Set(httpapi.EpochHeader, strconv.FormatUint(g.Epoch(), 10))
+	writeJSON(w, http.StatusOK, httpapi.BatchQueryResponse{Results: rows})
 }
 
 func (g *Gateway) handleSearch(w http.ResponseWriter, r *http.Request) {

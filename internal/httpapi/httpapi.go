@@ -4,6 +4,7 @@
 // beyond the published index:
 //
 //	GET /v1/query?owner=<identity>   → {"owner": ..., "providers": [ids]}
+//	POST /v1/query/batch             → {"results": [{"owner": ..., "found": ..., "providers": [ids]}]}
 //	GET /v1/search?q=<substr>        → {"results": [{"owner": ..., "providers": [ids]}]}
 //	GET /v1/stats                    → {"queries": n, "avgFanout": f}
 //	GET /v1/healthz                  → {"status": "ok", "providers": m, "owners": n}
@@ -25,6 +26,7 @@
 package httpapi
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -73,6 +75,10 @@ type Handler struct {
 	reg    *metrics.Registry
 	tracer *trace.Tracer
 	sink   *audit.Sink
+
+	// batchSize is the eppi_batch_size histogram (nil without metrics):
+	// owners per POST /v1/query/batch request.
+	batchSize *metrics.Histogram
 
 	// report is the privacy audit of the epoch being served, installed
 	// alongside the index snapshot (SetReport). It is advisory: a node
@@ -136,6 +142,8 @@ func NewHandler(srv *index.Server, opts ...Option) (*Handler, error) {
 		h.epochG = h.reg.Gauge("eppi_epoch", "Publication epoch of the index being served.")
 		h.epochG.Set(float64(srv.Epoch()))
 		h.swaps = h.reg.Counter("eppi_epoch_swaps_total", "Hot snapshot swaps to a newly published epoch.")
+		h.batchSize = h.reg.Histogram("eppi_batch_size",
+			"Owners per batched lookup request.", BatchSizeBuckets)
 	}
 	if h.tracer != nil {
 		// /v1/traces itself is excluded from tracing so reading the ring
@@ -143,6 +151,7 @@ func NewHandler(srv *index.Server, opts ...Option) (*Handler, error) {
 		h.mux.HandleFunc("GET /v1/traces", h.instrument("traces", h.handleTraces))
 	}
 	h.mux.HandleFunc("GET /v1/query", h.wrap("query", h.handleQuery))
+	h.mux.HandleFunc("POST /v1/query/batch", h.wrap("batch", h.handleQueryBatch))
 	h.mux.HandleFunc("GET /v1/search", h.wrap("search", h.handleSearch))
 	h.mux.HandleFunc("GET /v1/stats", h.wrap("stats", h.handleStats))
 	h.mux.HandleFunc("GET /v1/healthz", h.wrap("healthz", h.handleHealthz))
@@ -297,6 +306,44 @@ type QueryResponse struct {
 	Providers []int  `json:"providers"`
 }
 
+// Batch limits. A batched lookup amortizes round-trips, it is not a bulk
+// export channel: the owner-count cap bounds index work per request and
+// the body cap bounds what a request can make the server buffer. Both
+// violations answer 413.
+const (
+	// MaxBatchOwners caps owners per POST /v1/query/batch request.
+	MaxBatchOwners = 1024
+	// MaxBatchBody caps the request body in bytes.
+	MaxBatchBody = 1 << 20
+)
+
+// BatchSizeBuckets are the eppi_batch_size histogram bounds: powers of
+// two up to MaxBatchOwners.
+var BatchSizeBuckets = metrics.ExponentialBuckets(1, 2, 11)
+
+// BatchQueryRequest is the POST /v1/query/batch request body.
+type BatchQueryRequest struct {
+	Owners []string `json:"owners"`
+}
+
+// BatchRow is one per-owner result of a batched lookup. Misses travel
+// in-band (Found false) so one unknown owner never fails the batch.
+type BatchRow struct {
+	Owner     string `json:"owner"`
+	Found     bool   `json:"found"`
+	Providers []int  `json:"providers"`
+	// Error is set by the gateway when the shard owning this identity
+	// could not be reached; a shard node always leaves it empty (its rows
+	// all come from the one snapshot that answered).
+	Error string `json:"error,omitempty"`
+}
+
+// BatchQueryResponse is the POST /v1/query/batch payload. Results are
+// position-matched to the request's owners.
+type BatchQueryResponse struct {
+	Results []BatchRow `json:"results"`
+}
+
 // SearchResponse is the /v1/search payload.
 type SearchResponse struct {
 	Results []index.Match `json:"results"`
@@ -396,6 +443,58 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, QueryResponse{Owner: owner, Providers: providers})
 }
 
+// handleQueryBatch resolves a whole owner list against one snapshot.
+// The snapshot is loaded once and answers every row, so the X-Eppi-Epoch
+// header is the epoch of each and every result — a batch can never mix
+// two index versions even when a hot swap lands mid-request. The POST
+// verb only carries the owner list (too long for a query string); the
+// route reads published state exactly like GET /v1/query.
+func (h *Handler) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	srv := h.srv()
+	setEpochHeader(w, srv)
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBatchBody)
+	var req BatchQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("batch body exceeds %d bytes", MaxBatchBody)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad batch request body: " + err.Error()})
+		return
+	}
+	if len(req.Owners) > MaxBatchOwners {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{Error: fmt.Sprintf("batch of %d owners exceeds the %d cap", len(req.Owners), MaxBatchOwners)})
+		return
+	}
+	if h.batchSize != nil {
+		h.batchSize.Observe(float64(len(req.Owners)))
+	}
+	items := srv.QueryBatch(r.Context(), req.Owners)
+	rows := make([]BatchRow, len(items))
+	for i, it := range items {
+		providers := it.Providers
+		if providers == nil {
+			providers = []int{}
+		}
+		rows[i] = BatchRow{Owner: it.Owner, Found: it.Found, Providers: providers}
+	}
+	if h.sink != nil {
+		// One audit entry per owner, exactly like k single queries would
+		// leave: a scanner must not shrink its trail by batching probes.
+		for _, it := range items {
+			n := -1
+			if it.Found {
+				n = len(it.Providers)
+			}
+			h.auditRecord(r, srv, "batch", it.Owner, n, http.StatusOK)
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchQueryResponse{Results: rows})
+}
+
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	srv := h.srv()
 	setEpochHeader(w, srv)
@@ -492,9 +591,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // *http.Client: a hung locator must not hang every searcher.
 const DefaultTimeout = 10 * time.Second
 
-// Default retry policy: every API call is an idempotent GET, so the
+// Default retry policy: every API call is read-only — idempotent GETs
+// plus the batch POST, whose body merely carries an owner list — so the
 // client retries transient failures (connection errors, 5xx, 429) a few
 // times with capped, jittered exponential backoff before giving up.
+// The retry gate is explicit per call site (do's idempotent flag): a
+// future mutating route must opt out, not rely on its verb.
 // A Retry-After header on the failure (the gateway's load shedder sends
 // one with its 503s) overrides the client's own backoff: the server
 // knows its load better than the client's doubling schedule does.
@@ -566,30 +668,58 @@ func retryableStatus(code int) bool {
 	return code >= 500 || code == http.StatusTooManyRequests
 }
 
-// get issues a context-bound GET and returns the response. When ctx
-// carries an active trace span, the request is stamped with the
-// propagation headers so a traced server joins the caller's trace.
-//
-// Transient failures — connection errors, 5xx, 429 — are retried up to
-// the configured count with capped exponential backoff and full jitter.
-// Context cancellation is honored everywhere: it aborts the in-flight
-// request, is never itself retried, and cuts backoff sleeps short.
+// get issues a context-bound GET through the retrying do path; every GET
+// in this API is idempotent.
 func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return nil, err
+	return c.do(ctx, http.MethodGet, path, nil, true)
+}
+
+// do issues a context-bound request and returns the response. When ctx
+// carries an active trace span, the request is stamped with the
+// propagation headers so a traced server joins the caller's trace. A
+// non-nil body is sent as JSON and rebuilt for every attempt.
+//
+// For idempotent calls, transient failures — connection errors, 5xx,
+// 429 — are retried up to the configured count with capped exponential
+// backoff and full jitter; idempotent is the explicit retry gate, and a
+// call site may only open it for a request that is safe to repeat
+// (every GET, and the read-only batch POST). Context cancellation is
+// honored everywhere: it aborts the in-flight request, is never itself
+// retried, and cuts backoff sleeps short.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, idempotent bool) (*http.Response, error) {
+	retries := c.retries
+	if !idempotent {
+		retries = 0
 	}
-	if sp := trace.FromContext(ctx); sp != nil {
-		req.Header.Set(TraceIDHeader, sp.TraceID().String())
-		req.Header.Set(ParentSpanHeader, sp.ID().String())
+	newReq := func() (*http.Request, error) {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if sp := trace.FromContext(ctx); sp != nil {
+			req.Header.Set(TraceIDHeader, sp.TraceID().String())
+			req.Header.Set(ParentSpanHeader, sp.ID().String())
+		}
+		return req, nil
 	}
 	backoff := c.backoff
 	for attempt := 0; ; attempt++ {
+		req, err := newReq()
+		if err != nil {
+			return nil, err
+		}
 		resp, err := c.http.Do(req)
 		switch {
 		case err == nil && !retryableStatus(resp.StatusCode):
 			return resp, nil
-		case attempt >= c.retries:
+		case attempt >= retries:
 			return resp, err // whatever the last attempt produced
 		case err != nil && ctx.Err() != nil:
 			// The caller gave up; a retry would only mask that.
@@ -716,6 +846,43 @@ func (c *Client) QueryEpoch(ctx context.Context, owner string) ([]int, uint64, e
 
 // Base returns the base URL the client targets.
 func (c *Client) Base() string { return c.base }
+
+// QueryBatch resolves many owners in one round-trip. Rows come back
+// position-matched to owners, misses in-band (Found false) — one unknown
+// owner never fails the batch.
+func (c *Client) QueryBatch(ctx context.Context, owners []string) ([]BatchRow, error) {
+	rows, _, err := c.QueryBatchEpoch(ctx, owners)
+	return rows, err
+}
+
+// QueryBatchEpoch is QueryBatch plus the publication epoch of the
+// snapshot that answered. The server resolves the whole batch against one
+// snapshot, so the epoch applies to every row.
+func (c *Client) QueryBatchEpoch(ctx context.Context, owners []string) ([]BatchRow, uint64, error) {
+	body, err := json.Marshal(BatchQueryRequest{Owners: owners})
+	if err != nil {
+		return nil, 0, fmt.Errorf("httpapi: encode batch request: %w", err)
+	}
+	// The POST carries an owner list too long for a query string but
+	// reads published state exactly like GET /v1/query — it is safe to
+	// repeat, so the GET-only retry gate is explicitly opened for it.
+	resp, err := c.do(ctx, http.MethodPost, "/v1/query/batch", body, true)
+	if err != nil {
+		return nil, 0, fmt.Errorf("httpapi: query batch: %w", err)
+	}
+	defer resp.Body.Close()
+	epoch := epochOf(resp)
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, epoch, fmt.Errorf("httpapi: query batch status %d: %s", resp.StatusCode, e.Error)
+	}
+	var br BatchQueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, epoch, fmt.Errorf("httpapi: decode batch response: %w", err)
+	}
+	return br.Results, epoch, nil
+}
 
 // Search runs a remote substring search over the owner labels. limit <= 0
 // leaves the cap to the server.

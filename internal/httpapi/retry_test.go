@@ -126,11 +126,11 @@ func TestParseRetryAfter(t *testing.T) {
 		in   string
 		want time.Duration
 	}{
-		{"", -1},           // absent: caller falls back to its own backoff
-		{"later", -1},      // HTTP-date form unsupported, treated as absent
-		{"-3", -1},         // negative is nonsense
-		{"1.5", -1},        // delay-seconds is an integer
-		{"0", 0},           // valid: retry immediately
+		{"", -1},      // absent: caller falls back to its own backoff
+		{"later", -1}, // HTTP-date form unsupported, treated as absent
+		{"-3", -1},    // negative is nonsense
+		{"1.5", -1},   // delay-seconds is an integer
+		{"0", 0},      // valid: retry immediately
 		{"2", 2 * time.Second},
 		{"9999", RetryAfterCap}, // a server cannot park the client for hours
 	}

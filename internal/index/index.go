@@ -171,6 +171,69 @@ func (s *Server) QueryCtx(ctx context.Context, owner string) ([]int, error) {
 	return result, nil
 }
 
+// BatchItem is one per-owner outcome of a QueryBatch. A miss is in-band
+// (Found false) instead of an error: one unknown owner must not fail the
+// other k-1 resolutions travelling in the same batch.
+type BatchItem struct {
+	// Owner is the queried identity, echoed back so batch responses are
+	// self-describing even after reordering or partial merges.
+	Owner string `json:"owner"`
+	// Found reports whether the owner is indexed.
+	Found bool `json:"found"`
+	// Providers is the QueryPPI result, noise included; empty (never nil)
+	// when Found, nil when not.
+	Providers []int `json:"providers"`
+}
+
+// QueryBatch resolves many owners against this one snapshot: every item
+// of the returned slice (position-matched to owners) is answered by the
+// same published matrix, so a batch can never straddle an epoch swap —
+// the single-snapshot-per-batch guarantee the serving tier builds on.
+// Each item answers exactly like QueryCtx would for that owner, misses
+// reported in-band. When ctx carries a trace span, one "index.query_batch"
+// child span records the batch size and hit count (not one span per
+// owner — a 10k-owner batch must not flood the trace ring).
+func (s *Server) QueryBatch(ctx context.Context, owners []string) []BatchItem {
+	_, sp := trace.StartChild(ctx, "index.query_batch")
+	out := make([]BatchItem, len(owners))
+	found := 0
+	var fanout uint64
+	in := s.inst.Load()
+	for i, owner := range owners {
+		out[i].Owner = owner
+		j, ok := s.byName[owner]
+		if !ok {
+			s.unknown.Add(1)
+			if in != nil {
+				in.unknown.Inc()
+			}
+			continue
+		}
+		providers := s.published.ColOnes(j)
+		if providers == nil {
+			providers = []int{}
+		}
+		out[i].Found = true
+		out[i].Providers = providers
+		found++
+		fanout += uint64(len(providers))
+		if in != nil {
+			in.fanout.Observe(float64(len(providers)))
+		}
+	}
+	// Fold the load counters in two adds instead of 2·k: the batch path
+	// exists to amortize per-lookup overhead.
+	s.queries.Add(uint64(found))
+	s.fanout.Add(fanout)
+	if in != nil {
+		in.queries.Add(uint64(found))
+	}
+	sp.SetInt("batch_size", len(owners))
+	sp.SetInt("found", found)
+	sp.End()
+	return out
+}
+
 // Match is one owner surfaced by a substring search.
 type Match struct {
 	// Owner is the identity label.

@@ -1,0 +1,82 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestGroupRoutesConsistentlyWithFor(t *testing.T) {
+	owners := make([]string, 50)
+	for i := range owners {
+		owners[i] = fmt.Sprintf("owner://site-%d.example.org", i)
+	}
+	for _, of := range []int{1, 2, 3, 7} {
+		groups := Group(owners, of)
+		if len(groups) != of {
+			t.Fatalf("of=%d: %d groups", of, len(groups))
+		}
+		total := 0
+		for k, group := range groups {
+			total += len(group)
+			for _, owner := range group {
+				if For(owner, of) != k {
+					t.Fatalf("of=%d: %q in group %d, For says %d", of, owner, k, For(owner, of))
+				}
+			}
+		}
+		if total != len(owners) {
+			t.Fatalf("of=%d: %d owners grouped, want %d", of, total, len(owners))
+		}
+	}
+}
+
+func TestGroupDedupsPreservingFirstAppearance(t *testing.T) {
+	owners := []string{"b", "a", "b", "c", "a", ""}
+	groups := Group(owners, 1)
+	want := []string{"b", "a", "c", ""}
+	if fmt.Sprint(groups[0]) != fmt.Sprint(want) {
+		t.Fatalf("groups[0] = %v, want %v (dedup'd, first-appearance order)", groups[0], want)
+	}
+}
+
+func TestGroupKeepsPerShardOrder(t *testing.T) {
+	owners := make([]string, 40)
+	for i := range owners {
+		owners[i] = fmt.Sprintf("o%d", i)
+	}
+	const of = 3
+	groups := Group(owners, of)
+	// Within each shard, owners must appear in input order: replaying the
+	// input and filtering by For must reproduce every group exactly.
+	var want [of][]string
+	for _, owner := range owners {
+		k := For(owner, of)
+		want[k] = append(want[k], owner)
+	}
+	for k := range groups {
+		if fmt.Sprint(groups[k]) != fmt.Sprint(want[k]) {
+			t.Fatalf("shard %d: %v, want %v", k, groups[k], want[k])
+		}
+	}
+}
+
+func TestGroupEmptyInput(t *testing.T) {
+	groups := Group(nil, 4)
+	if len(groups) != 4 {
+		t.Fatalf("%d groups, want 4", len(groups))
+	}
+	for k, group := range groups {
+		if len(group) != 0 {
+			t.Fatalf("shard %d unexpectedly has %v", k, group)
+		}
+	}
+}
+
+func TestGroupPanicsOnBadShardCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Group(_, 0) did not panic")
+		}
+	}()
+	Group([]string{"a"}, 0)
+}

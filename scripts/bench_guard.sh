@@ -1,0 +1,13 @@
+#!/bin/sh
+# bench_guard.sh BENCH_gateway.json [max-regress]
+#
+# Fails when the newest BENCH_gateway.json entry's batch warm QPS dropped
+# more than max-regress (default 0.20 = 20%) below the previous entry's.
+# Run by `make gateway-bench` right after the selfbench appends its entry.
+set -eu
+
+baseline=${1:?usage: bench_guard.sh BENCH_gateway.json [max-regress]}
+max_regress=${2:-0.20}
+
+cd "$(dirname "$0")/.."
+exec go run ./scripts/benchguard -max-regress "$max_regress" "$baseline"

@@ -1,0 +1,76 @@
+// Command benchguard is the regression gate behind scripts/bench_guard.sh:
+// it reads a BENCH_gateway.json history and fails (exit 1) when the newest
+// entry's batch warm QPS fell more than the allowed fraction below the
+// previous entry that recorded a batch warm phase. Entries written before
+// the batched lookup pipeline existed carry no batch fields and are
+// skipped, so the guard arms itself automatically once two batch-bearing
+// entries exist.
+//
+// Usage: benchguard [-max-regress 0.20] BENCH_gateway.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type phase struct {
+	QPS float64 `json:"qps"`
+}
+
+type entry struct {
+	Timestamp string `json:"timestamp"`
+	BatchWarm *phase `json:"batch_warm"`
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0.20, "largest tolerated fractional QPS drop vs the previous entry")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchguard [-max-regress 0.20] BENCH_gateway.json")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *maxRegress); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, maxRegress float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var history []entry
+	if err := json.Unmarshal(raw, &history); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	// Collect the entries that actually measured a batch warm phase, in
+	// file order: the last is the run under test, the one before is its
+	// baseline.
+	var batched []entry
+	for _, e := range history {
+		if e.BatchWarm != nil && e.BatchWarm.QPS > 0 {
+			batched = append(batched, e)
+		}
+	}
+	if len(batched) == 0 {
+		return fmt.Errorf("%s has no batch warm measurements", path)
+	}
+	if len(batched) == 1 {
+		fmt.Printf("benchguard: first batch entry (%s), nothing to compare\n", batched[0].Timestamp)
+		return nil
+	}
+	prev, cur := batched[len(batched)-2], batched[len(batched)-1]
+	floor := prev.BatchWarm.QPS * (1 - maxRegress)
+	if cur.BatchWarm.QPS < floor {
+		return fmt.Errorf("batch warm QPS regressed: %.0f -> %.0f (floor %.0f, -%.0f%% allowed; baseline %s)",
+			prev.BatchWarm.QPS, cur.BatchWarm.QPS, floor, maxRegress*100, prev.Timestamp)
+	}
+	fmt.Printf("benchguard: batch warm QPS %.0f vs baseline %.0f (%+.1f%%), within -%.0f%% budget\n",
+		cur.BatchWarm.QPS, prev.BatchWarm.QPS,
+		(cur.BatchWarm.QPS/prev.BatchWarm.QPS-1)*100, maxRegress*100)
+	return nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func historyFile(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_gateway.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func entryJSON(ts string, qps float64) string {
+	return `{"timestamp":"` + ts + `","batch_warm":{"qps":` +
+		strconv.FormatFloat(qps, 'f', -1, 64) + `}}`
+}
+
+func TestGuardPassesWithinBudget(t *testing.T) {
+	path := historyFile(t, "["+entryJSON("t1", 1000)+","+entryJSON("t2", 850)+"]")
+	if err := run(path, 0.20); err != nil {
+		t.Fatalf("15%% drop failed the 20%% guard: %v", err)
+	}
+}
+
+func TestGuardFailsOnRegression(t *testing.T) {
+	path := historyFile(t, "["+entryJSON("t1", 1000)+","+entryJSON("t2", 799)+"]")
+	if err := run(path, 0.20); err == nil {
+		t.Fatal("20.1% drop passed the 20% guard")
+	}
+}
+
+func TestGuardPassesOnImprovement(t *testing.T) {
+	path := historyFile(t, "["+entryJSON("t1", 1000)+","+entryJSON("t2", 1500)+"]")
+	if err := run(path, 0.20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardComparesLastTwoBatchEntriesOnly(t *testing.T) {
+	// The middle entry regressed hard, but the guard judges the newest
+	// entry against its immediate batch-bearing predecessor.
+	path := historyFile(t, "["+
+		entryJSON("t1", 5000)+","+
+		entryJSON("t2", 1000)+","+
+		entryJSON("t3", 990)+"]")
+	if err := run(path, 0.20); err != nil {
+		t.Fatalf("newest vs previous is within budget, yet: %v", err)
+	}
+}
+
+func TestGuardSkipsPreBatchEntries(t *testing.T) {
+	// Entries written before the batch pipeline carry no batch_warm and
+	// must be invisible to the comparison.
+	path := historyFile(t, `[
+		{"timestamp":"old1","warm":{"qps":123}},
+		`+entryJSON("t1", 1000)+`,
+		{"timestamp":"old2"},
+		`+entryJSON("t2", 950)+"]")
+	if err := run(path, 0.20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardSingleBatchEntryIsBaseline(t *testing.T) {
+	path := historyFile(t, "["+entryJSON("t1", 1000)+"]")
+	if err := run(path, 0.20); err != nil {
+		t.Fatalf("first batch entry must pass (nothing to compare): %v", err)
+	}
+}
+
+func TestGuardErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), 0.20); err == nil {
+		t.Error("missing file passed")
+	}
+	if err := run(historyFile(t, "{nope"), 0.20); err == nil {
+		t.Error("bad JSON passed")
+	}
+	if err := run(historyFile(t, `[{"timestamp":"t1"}]`), 0.20); err == nil {
+		t.Error("history without any batch measurement passed")
+	}
+}
