@@ -76,6 +76,7 @@ func run(args []string, out io.Writer) error {
 	outPath := fs.String("out", "", "export the index: a snapshot file, or a shard-set directory with -shards")
 	shards := fs.Int("shards", 0, "with -out or -epoch-dir: column-partition the index into this many shards + manifest")
 	epochDir := fs.String("epoch-dir", "", "publish the index as the next epoch of this epoch store (atomic CURRENT flip)")
+	epochKeep := fs.Int("epoch-keep", 0, "with -epoch-dir: keep only the newest N epochs after publishing (0 = keep all; the epoch named by CURRENT is never pruned)")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the construction to this file")
 	metricsOut := fs.String("metrics-out", "", "write a Prometheus text exposition of the run (eppi_build_info, runtime gauges) to this file")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
@@ -181,7 +182,7 @@ func run(args []string, out io.Writer) error {
 		if n <= 0 {
 			n = 1
 		}
-		pub := epoch.Publisher{Root: *epochDir}
+		pub := epoch.Publisher{Root: *epochDir, Keep: *epochKeep}
 		e, err := pub.PublishWithReport(srv.PublishedMatrix(), srv.Names(), n, rep, det)
 		if err != nil {
 			return fmt.Errorf("publish epoch: %w", err)

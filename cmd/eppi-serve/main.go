@@ -9,6 +9,8 @@
 //	eppi-serve -addr 127.0.0.1:8081 -shard 0/2                 # demo shard node
 //	eppi-serve -addr 127.0.0.1:8081 -index shards/ -shard 0/2  # shard from manifest
 //	eppi-serve -addr 127.0.0.1:8081 -epoch-dir store/ -shard 0/2  # hot-reloading node
+//	eppi-serve -addr 127.0.0.1:8081 -epoch-dir cache/ -shard 0/2 \
+//	           -epoch-origin http://origin:9000                  # mirrored node
 //
 // With -epoch-dir the node serves out of an epoch store written by
 // eppi-construct -epoch-dir (internal/epoch): it loads the shard named by
@@ -20,6 +22,17 @@
 // and epoch.reload spans. A corrupted CURRENT pointer or half-written
 // epoch directory is rejected and the node keeps serving its current
 // epoch.
+//
+// With -epoch-origin the node needs no shared storage at all: -epoch-dir
+// becomes a local cache that a replication mirror (internal/replica)
+// fills by polling an eppi-origin server — resumable ranged downloads,
+// optionally bandwidth-capped (-epoch-bandwidth) and pruned
+// (-epoch-keep), each epoch CRC-verified against its manifest before the
+// atomic rename that lets the watcher see it. Boot blocks until the
+// cache holds its first epoch. Replication health is surfaced as
+// eppi_replica_bytes_total, eppi_replica_fetch_seconds,
+// eppi_replica_failures_total and the eppi_replica_lag_epochs gauge,
+// plus replica.sync/replica.fetch spans.
 //
 // With -shard k/of the process serves only column shard k of an
 // of-way-partitioned index: identities are assigned to shards by a stable
@@ -81,6 +94,7 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/metrics"
 	"repro/internal/privacy"
+	"repro/internal/replica"
 	"repro/internal/shard"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -104,7 +118,11 @@ func run(ctx context.Context, args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	indexPath := fs.String("index", "", "path to an exported index file, or a shard-set directory with -shard (empty: build a demo index)")
 	epochDir := fs.String("epoch-dir", "", "serve from an epoch store written by eppi-construct -epoch-dir, hot-swapping when a new epoch is published")
-	epochPoll := fs.Duration("epoch-poll", epoch.DefaultPollPeriod, "how often to poll the epoch store's CURRENT pointer")
+	epochPoll := fs.Duration("epoch-poll", epoch.DefaultPollPeriod, "how often to poll the epoch store's CURRENT pointer (±10% jitter per tick)")
+	epochOrigin := fs.String("epoch-origin", "", "mirror epochs from this eppi-origin URL into -epoch-dir (the local cache) instead of relying on shared storage")
+	epochSync := fs.Duration("epoch-sync", epoch.DefaultPollPeriod, "with -epoch-origin: how often to poll the origin for new epochs (±10% jitter per tick)")
+	epochBandwidth := fs.Int64("epoch-bandwidth", 0, "with -epoch-origin: cap epoch downloads to this many bytes/second (0 = unlimited)")
+	epochKeep := fs.Int("epoch-keep", 0, "with -epoch-origin: keep only the newest N epochs in the local cache (0 = keep all)")
 	shardSpec := fs.String("shard", "", "serve one column shard, as \"k/of\" (e.g. 0/2)")
 	providers := fs.Int("providers", 50, "demo index: number of providers")
 	owners := fs.Int("owners", 20, "demo index: number of owners")
@@ -123,26 +141,8 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 
-	var srv *index.Server
-	var rep *privacy.Report
-	var servedEpoch uint64
-	shardID, shardOf := 0, 1
-	if *epochDir != "" {
-		if *indexPath != "" {
-			return fmt.Errorf("-epoch-dir and -index are mutually exclusive")
-		}
-		if *shardSpec != "" {
-			if shardID, shardOf, err = parseShardSpec(*shardSpec); err != nil {
-				return err
-			}
-		}
-		if srv, servedEpoch, err = epoch.Load(*epochDir, shardID, shardOf); err != nil {
-			return fmt.Errorf("epoch store %q: %w", *epochDir, err)
-		}
-		rep = loadEpochReport(logger, *epochDir, servedEpoch)
-	} else if srv, rep, err = loadOrBuild(*indexPath, *shardSpec, *providers, *owners, *seed); err != nil {
-		return err
-	}
+	// Registry and tracer come first: with -epoch-origin the replication
+	// mirror reports into them before the index is even loadable.
 	var reg *metrics.Registry
 	var opts []httpapi.Option
 	if *withMetrics {
@@ -155,6 +155,50 @@ func run(ctx context.Context, args []string) error {
 	if *traceCap > 0 {
 		tracer = trace.New(*traceCap)
 		opts = append(opts, httpapi.WithTracer(tracer))
+	}
+
+	var srv *index.Server
+	var rep *privacy.Report
+	var servedEpoch uint64
+	var mirror *replica.Mirror
+	shardID, shardOf := 0, 1
+	if *epochOrigin != "" && *epochDir == "" {
+		return fmt.Errorf("-epoch-origin needs -epoch-dir naming the local mirror cache")
+	}
+	if *epochDir != "" {
+		if *indexPath != "" {
+			return fmt.Errorf("-epoch-dir and -index are mutually exclusive")
+		}
+		if *shardSpec != "" {
+			if shardID, shardOf, err = parseShardSpec(*shardSpec); err != nil {
+				return err
+			}
+		}
+		if *epochOrigin != "" {
+			// Pull-based replication: the mirror fills the local store from
+			// the origin; everything below (Load, Watcher, RCU swap) then
+			// works off local, verified files exactly as with shared
+			// storage. Boot blocks until the cache holds its first epoch.
+			mirror = &replica.Mirror{
+				Origin:   *epochOrigin,
+				Root:     *epochDir,
+				Period:   *epochSync,
+				Limit:    *epochBandwidth,
+				Keep:     *epochKeep,
+				Registry: reg,
+				Tracer:   tracer,
+				Logger:   logger,
+			}
+			if _, err := mirror.WaitReady(ctx); err != nil {
+				return fmt.Errorf("mirror of %q: %w", *epochOrigin, err)
+			}
+		}
+		if srv, servedEpoch, err = epoch.Load(*epochDir, shardID, shardOf); err != nil {
+			return fmt.Errorf("epoch store %q: %w", *epochDir, err)
+		}
+		rep = loadEpochReport(logger, *epochDir, servedEpoch)
+	} else if srv, rep, err = loadOrBuild(*indexPath, *shardSpec, *providers, *owners, *seed); err != nil {
+		return err
 	}
 	if *auditDir != "" {
 		sink, err := audit.Open(*auditDir, audit.Options{Registry: reg, Logger: logger})
@@ -170,6 +214,16 @@ func run(ctx context.Context, args []string) error {
 	}
 	handler.SetReport(rep)
 	var watcherWG sync.WaitGroup
+	if mirror != nil {
+		// Keep pulling new epochs for as long as we serve; the Watcher
+		// below notices each mirrored epoch through the local CURRENT
+		// pointer, so the swap path is identical to shared storage.
+		watcherWG.Add(1)
+		go func() {
+			defer watcherWG.Done()
+			mirror.Run(ctx)
+		}()
+	}
 	if *epochDir != "" {
 		// Hot re-publication: poll the store and swap the served snapshot
 		// RCU-style when CURRENT moves. In-flight requests finish on the
@@ -224,6 +278,9 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *epochDir != "" {
 		up = append(up, slog.Uint64("epoch", servedEpoch), slog.String("epoch_dir", *epochDir))
+	}
+	if *epochOrigin != "" {
+		up = append(up, slog.String("epoch_origin", *epochOrigin))
 	}
 	logger.Info("locator service up", up...)
 	return serve(ctx, listener, mux, logger, reg)

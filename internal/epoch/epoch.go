@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -161,12 +162,78 @@ func Load(root string, k, of int) (*index.Server, uint64, error) {
 	return srv, n, nil
 }
 
+// SetCurrent atomically flips the store's CURRENT pointer to epoch n.
+// It is the consumer half of the pointer protocol: a replication mirror
+// that has downloaded, verified, and renamed an epoch directory into
+// place calls it to make the epoch visible to the local Watcher. n must
+// be a valid epoch number — 0 would write the very pointer value Current
+// rejects as corrupted.
+func SetCurrent(root string, n uint64) error {
+	if n == 0 {
+		return fmt.Errorf("%w: refusing to write epoch 0", ErrBadCurrent)
+	}
+	return writeCurrent(root, n)
+}
+
+// Prune deletes the oldest epoch directories from the store, keeping the
+// newest keep epochs and — unconditionally — the epoch named by CURRENT,
+// even if retention would otherwise drop it (a store whose pointer was
+// rolled back must not have the serving epoch deleted out from under its
+// nodes). keep <= 0 disables pruning. It returns the epoch numbers it
+// removed. A store with no readable CURRENT pointer is never pruned:
+// with the pointer torn there is no safe notion of "oldest".
+func Prune(root string, keep int) ([]uint64, error) {
+	if keep <= 0 {
+		return nil, nil
+	}
+	cur, err := Current(root)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(filepath.Join(root, EpochsDir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("epoch: %w", err)
+	}
+	var epochs []uint64
+	for _, e := range entries {
+		// Dot-named entries are in-flight publish/mirror assembly dirs;
+		// anything else non-numeric is not ours to delete.
+		n, perr := strconv.ParseUint(e.Name(), 10, 64)
+		if !e.IsDir() || perr != nil || n == 0 {
+			continue
+		}
+		epochs = append(epochs, n)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	if len(epochs) <= keep {
+		return nil, nil
+	}
+	var removed []uint64
+	for _, n := range epochs[:len(epochs)-keep] {
+		if n == cur {
+			continue
+		}
+		if err := os.RemoveAll(Dir(root, n)); err != nil {
+			return removed, fmt.Errorf("epoch: prune %d: %w", n, err)
+		}
+		removed = append(removed, n)
+	}
+	return removed, nil
+}
+
 // Publisher writes successive index publications into an epoch store.
 // Each Publish allocates the next epoch number, writes a complete shard
 // set for it, and atomically flips CURRENT to point at it.
 type Publisher struct {
 	// Root is the epoch store directory (created on first Publish).
 	Root string
+	// Keep, when positive, prunes the store down to the newest Keep
+	// epochs after each successful publish (the freshly published epoch —
+	// which CURRENT now names — is never pruned). 0 keeps every epoch.
+	Keep int
 }
 
 // Publish writes the published index as the next epoch's shard set and
@@ -235,6 +302,12 @@ func (p *Publisher) PublishWithReport(published *bitmat.Matrix, names []string, 
 	}
 	if err := writeCurrent(p.Root, next); err != nil {
 		return 0, err
+	}
+	// Retention runs last: CURRENT already points at the new epoch, so a
+	// prune error below reports a published epoch with stale dirs left
+	// behind, never a lost publication.
+	if _, err := Prune(p.Root, p.Keep); err != nil {
+		return next, fmt.Errorf("epoch %d published, retention failed: %w", next, err)
 	}
 	return next, nil
 }

@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -283,5 +284,143 @@ func copyDir(t *testing.T, src, dst string) {
 		if err := os.WriteFile(filepath.Join(dst, e.Name()), raw, 0o644); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestPruneRetention(t *testing.T) {
+	root := t.TempDir()
+	published, names := buildIndex(t, 10, 12, 1)
+	pub := Publisher{Root: root}
+	for i := 0; i < 4; i++ {
+		if _, err := pub.Publish(published, names, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// keep <= 0 disables pruning entirely.
+	if removed, err := Prune(root, 0); err != nil || removed != nil {
+		t.Fatalf("Prune(0) = %v, %v, want no-op", removed, err)
+	}
+	removed, err := Prune(root, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 || removed[0] != 1 || removed[1] != 2 {
+		t.Fatalf("Prune(2) removed %v, want [1 2]", removed)
+	}
+	for _, n := range []uint64{3, 4} {
+		if _, err := LoadAt(root, n, 0, 1); err != nil {
+			t.Fatalf("kept epoch %d unreadable after prune: %v", n, err)
+		}
+	}
+	if _, err := LoadAt(root, 1, 0, 1); err == nil {
+		t.Fatal("pruned epoch 1 still loadable")
+	}
+}
+
+func TestPruneNeverRemovesCurrent(t *testing.T) {
+	root := t.TempDir()
+	published, names := buildIndex(t, 10, 12, 1)
+	pub := Publisher{Root: root}
+	for i := 0; i < 3; i++ {
+		if _, err := pub.Publish(published, names, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An operator rolled the pointer back to epoch 1: retention must keep
+	// the serving epoch alive even though it is the oldest.
+	if err := SetCurrent(root, 1); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := Prune(root, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != 2 {
+		t.Fatalf("Prune removed %v, want [2]", removed)
+	}
+	if _, err := LoadAt(root, 1, 0, 1); err != nil {
+		t.Fatalf("CURRENT epoch pruned: %v", err)
+	}
+}
+
+func TestPublisherKeepPrunesAfterPublish(t *testing.T) {
+	root := t.TempDir()
+	published, names := buildIndex(t, 10, 12, 1)
+	pub := Publisher{Root: root, Keep: 2}
+	for i := 0; i < 3; i++ {
+		if _, err := pub.Publish(published, names, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := LoadAt(root, 1, 0, 1); err == nil {
+		t.Fatal("Keep=2 publisher left epoch 1 behind")
+	}
+	if _, err := LoadAt(root, 3, 0, 1); err != nil {
+		t.Fatalf("freshly published epoch unreadable: %v", err)
+	}
+	if n, err := Current(root); err != nil || n != 3 {
+		t.Fatalf("Current = %d, %v", n, err)
+	}
+}
+
+func TestSetCurrentRejectsZero(t *testing.T) {
+	if err := SetCurrent(t.TempDir(), 0); !errors.Is(err, ErrBadCurrent) {
+		t.Fatalf("SetCurrent(0) = %v, want ErrBadCurrent", err)
+	}
+}
+
+func TestWatcherStaysOnRegressedCurrent(t *testing.T) {
+	root := t.TempDir()
+	published, names := buildIndex(t, 12, 16, 1)
+	pub := Publisher{Root: root}
+	for i := 0; i < 2; i++ {
+		if _, err := pub.Publish(published, names, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := &Watcher{
+		Root: root, Shard: 0, Of: 1,
+		OnSwap: func(*index.Server, uint64) error {
+			t.Error("OnSwap called for a regressed pointer")
+			return nil
+		},
+	}
+	// The pointer rolls back to epoch 1 under a node serving epoch 2: the
+	// node must warn and stay, never swap the fleet backwards.
+	if err := SetCurrent(root, 1); err != nil {
+		t.Fatal(err)
+	}
+	var logBuf strings.Builder
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	if got := w.poll(logger, 2); got != 2 {
+		t.Fatalf("poll swapped backwards to %d", got)
+	}
+	if !strings.Contains(logBuf.String(), "regressed") {
+		t.Fatalf("regression not warned about:\n%s", logBuf.String())
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	const d = time.Second
+	lo, hi := d, d
+	for i := 0; i < 2000; i++ {
+		j := Jitter(d)
+		if j < 9*d/10 || j > 11*d/10 {
+			t.Fatalf("Jitter(%v) = %v outside ±10%%", d, j)
+		}
+		if j < lo {
+			lo = j
+		}
+		if j > hi {
+			hi = j
+		}
+	}
+	// The spread must actually spread: a fleet that all lands on the same
+	// tick has no herd protection at all.
+	if lo == hi {
+		t.Fatalf("Jitter produced a constant %v over 2000 samples", lo)
+	}
+	if Jitter(0) != 0 {
+		t.Fatal("Jitter(0) != 0")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"time"
 
 	"repro/internal/index"
@@ -14,6 +15,20 @@ import (
 // DefaultPollPeriod is the CURRENT-pointer poll interval when the Watcher
 // does not set one.
 const DefaultPollPeriod = 2 * time.Second
+
+// Jitter returns d perturbed by up to ±10%. Pollers use it on every tick
+// so a fleet restarted together de-synchronizes instead of hammering the
+// same store (or replication origin) in lockstep forever.
+func Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	tenth := int64(d / 10)
+	if tenth == 0 {
+		return d
+	}
+	return d + time.Duration(rand.Int64N(2*tenth+1)-tenth)
+}
 
 // Watcher polls an epoch store's CURRENT pointer and hands every newly
 // published epoch's shard to OnSwap. The load is all-or-nothing: the new
@@ -50,14 +65,18 @@ func (w *Watcher) Run(ctx context.Context, current uint64) {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	ticker := time.NewTicker(period)
-	defer ticker.Stop()
+	// A timer re-armed with a fresh jitter each tick, not a fixed ticker:
+	// nodes that booted together drift apart instead of polling the store
+	// in a thundering herd every period.
+	timer := time.NewTimer(Jitter(period))
+	defer timer.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case <-timer.C:
 			current = w.poll(logger, current)
+			timer.Reset(Jitter(period))
 		}
 	}
 }
@@ -77,6 +96,14 @@ func (w *Watcher) poll(logger *slog.Logger, current uint64) uint64 {
 		return current
 	}
 	if n == current {
+		return current
+	}
+	if n < current {
+		// A pointer that moved backwards is a rolled-back or restored
+		// store, not a publication. Swapping to an older index would
+		// re-serve retired answers fleet-wide; stay put and say so.
+		logger.Warn("CURRENT regressed, staying on served epoch",
+			slog.Uint64("epoch", current), slog.Uint64("pointer_epoch", n))
 		return current
 	}
 	var sp *trace.Span

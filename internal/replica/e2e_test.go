@@ -1,0 +1,258 @@
+package replica
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/epoch"
+	"repro/internal/httpapi"
+	"repro/internal/index"
+	"repro/internal/shard"
+)
+
+// TestReplicationEndToEnd drives the full fleet-replication story over
+// loopback HTTP: a serve node with an empty local store mirrors epoch 1
+// from an origin and serves it; the origin publishes epoch 2 while the
+// node is under query load and the node hot-swaps with zero failed
+// requests; an origin that dies mid-transfer is resumed with a ranged
+// GET once it is back; and a bit-flipped shard on the origin is rejected
+// by checksum while the node keeps serving what it already has.
+func TestReplicationEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end replication test")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// The origin: a published store behind the replication API.
+	originRoot := t.TempDir()
+	published, names := buildIndex(t, 20, 16, 1)
+	originPub := epoch.Publisher{Root: originRoot}
+	if _, err := originPub.Publish(published, names, 1); err != nil {
+		t.Fatal(err)
+	}
+	originSrv := httptest.NewServer(NewOrigin(originRoot))
+	defer originSrv.Close()
+
+	// The node: an empty cache dir, a mirror, and the regular query stack
+	// (httpapi handler + epoch watcher) on top of the mirrored store.
+	m, local, reg := mirrorTo(t, originSrv.URL)
+	m.Period = 10 * time.Millisecond
+	bootCtx, bootCancel := context.WithTimeout(ctx, 30*time.Second)
+	n, err := m.WaitReady(bootCtx)
+	bootCancel()
+	if err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("WaitReady = epoch %d, want 1", n)
+	}
+	srv, cur, err := epoch.Load(local, 0, 1)
+	if err != nil {
+		t.Fatalf("load mirrored store: %v", err)
+	}
+	handler, err := httpapi.NewHandler(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := httptest.NewServer(handler)
+	defer node.Close()
+
+	w := &epoch.Watcher{
+		Root: local, Shard: 0, Of: 1, Period: 5 * time.Millisecond,
+		OnSwap: func(next *index.Server, _ uint64) error { return handler.Swap(next) },
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); w.Run(ctx, cur) }()
+	defer wg.Wait()
+	defer cancel()
+
+	// Scenario 1: the empty-store node serves mirrored epoch 1.
+	if got := queryEpoch(t, node.URL, names[0]); got != 1 {
+		t.Fatalf("fresh node serves epoch %d, want 1", got)
+	}
+
+	// Scenario 2: publish epoch 2 mid-hammer; the node hot-swaps with
+	// zero failed requests.
+	runCtx, runCancel := context.WithCancel(ctx)
+	var runWG sync.WaitGroup
+	runWG.Add(1)
+	go func() { defer runWG.Done(); m.Run(runCtx) }()
+
+	var failures atomic.Int64
+	stop := make(chan struct{})
+	var hammerWG sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		hammerWG.Add(1)
+		go func(owner string) {
+			defer hammerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(node.URL + "/v1/query?owner=" + owner)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}(names[i%len(names)])
+	}
+	if _, err := originPub.Publish(published, names, 1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "node hot-swap to epoch 2", func() bool {
+		return queryEpoch(t, node.URL, names[0]) == 2
+	})
+	close(stop)
+	hammerWG.Wait()
+	runCancel()
+	runWG.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d failed requests across the epoch hot-swap", n)
+	}
+
+	// Scenario 3: the origin dies mid-transfer of epoch 3. The sync
+	// fails, the partial survives, and the recovered origin is asked for
+	// the remainder with a ranged GET.
+	if _, err := originPub.Publish(published, names, 1); err != nil {
+		t.Fatal(err)
+	}
+	shardPath := "/v1/epochs/3/files/" + shard.FileName(0)
+	origin := NewOrigin(originRoot)
+	var shardHits atomic.Int64
+	dying := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == shardPath {
+			if shardHits.Add(1) > 1 {
+				// The origin is "down" for every retry of this attempt.
+				rw.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			// First transfer: half the file, then the process dies.
+			full, err := os.ReadFile(filepath.Join(epoch.Dir(originRoot, 3), shard.FileName(0)))
+			if err != nil {
+				t.Error(err)
+				panic(http.ErrAbortHandler)
+			}
+			rw.Header().Set("Content-Type", "application/octet-stream")
+			rw.WriteHeader(http.StatusOK)
+			_, _ = rw.Write(full[:len(full)/2])
+			rw.(http.Flusher).Flush()
+			panic(http.ErrAbortHandler)
+		}
+		origin.ServeHTTP(rw, r)
+	}))
+	m.Origin = dying.URL
+	if _, err := m.Sync(ctx); err == nil {
+		t.Fatal("sync against a dying origin succeeded")
+	}
+	dying.Close()
+	partial, err := os.Stat(filepath.Join(m.tempDir(3), shard.FileName(0)))
+	if err != nil {
+		t.Fatalf("no partial survived the dead origin: %v", err)
+	}
+	if partial.Size() == 0 {
+		t.Fatal("empty partial — nothing to resume")
+	}
+
+	// The origin comes back; the mirror resumes from the partial.
+	var mu sync.Mutex
+	var resumeRanges []string
+	recovered := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == shardPath {
+			mu.Lock()
+			resumeRanges = append(resumeRanges, r.Header.Get("Range"))
+			mu.Unlock()
+		}
+		origin.ServeHTTP(rw, r)
+	}))
+	defer recovered.Close()
+	m.Origin = recovered.URL
+	if n, err := m.Sync(ctx); err != nil || n != 3 {
+		t.Fatalf("resume sync = %d, %v", n, err)
+	}
+	mu.Lock()
+	wantRange := "bytes=" + strconv.FormatInt(partial.Size(), 10) + "-"
+	if len(resumeRanges) != 1 || resumeRanges[0] != wantRange {
+		t.Fatalf("resume requested %v, want one ranged GET %q", resumeRanges, wantRange)
+	}
+	mu.Unlock()
+	waitFor(t, 30*time.Second, "node hot-swap to epoch 3", func() bool {
+		return queryEpoch(t, node.URL, names[0]) == 3
+	})
+
+	// Scenario 4: a bit-flipped shard on the origin is rejected; the
+	// node keeps serving epoch 3.
+	if _, err := originPub.Publish(published, names, 1); err != nil {
+		t.Fatal(err)
+	}
+	tamperPath := filepath.Join(epoch.Dir(originRoot, 4), shard.FileName(0))
+	raw, err := os.ReadFile(tamperPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/3] ^= 0x80
+	if err := os.WriteFile(tamperPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	failuresBefore := counterValue(reg, "eppi_replica_failures_total", "")
+	m.Origin = originSrv.URL
+	if _, err := m.Sync(ctx); err == nil {
+		t.Fatal("bit-flipped epoch 4 synced")
+	}
+	if got := counterValue(reg, "eppi_replica_failures_total", ""); got <= failuresBefore {
+		t.Errorf("failure counter %d after rejected sync, want > %d", got, failuresBefore)
+	}
+	if n, err := epoch.Current(local); err != nil || n != 3 {
+		t.Fatalf("local store moved off epoch 3: %d, %v", n, err)
+	}
+	// A few watcher periods later the node still answers from epoch 3.
+	time.Sleep(50 * time.Millisecond)
+	if got := queryEpoch(t, node.URL, names[0]); got != 3 {
+		t.Fatalf("node left epoch 3 for a tampered epoch: now %d", got)
+	}
+}
+
+// queryEpoch runs one locator query against a node and returns the epoch
+// header stamped on the answer (0 on transport failure).
+func queryEpoch(t *testing.T, base, owner string) uint64 {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/query?owner=" + owner)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0
+	}
+	n, _ := strconv.ParseUint(resp.Header.Get(httpapi.EpochHeader), 10, 64)
+	return n
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

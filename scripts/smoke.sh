@@ -9,7 +9,10 @@
 # store, boot a hot-reloading fleet from it, publish a second epoch
 # mid-run, and assert the fleet swaps, the gateway's answer changes, and
 # /v1/privacy serves each published epoch's verified privacy report on
-# the node and aggregated through the gateway.
+# the node and aggregated through the gateway. Last, the replication
+# path: boot eppi-origin over the store, boot a node with an empty local
+# cache and -epoch-origin, and assert it converges to the origin's
+# epoch and answers queries from the mirrored index.
 # Used by CI; runnable locally via `make smoke`.
 #
 # Set SMOKE_ARTIFACT_DIR to persist debugging artifacts (final metrics
@@ -28,13 +31,18 @@ GW_ADDR="${SMOKE_GW_ADDR:-127.0.0.1:18090}"
 EP0_ADDR="${SMOKE_EP0_ADDR:-127.0.0.1:18083}"
 EP1_ADDR="${SMOKE_EP1_ADDR:-127.0.0.1:18084}"
 EPGW_ADDR="${SMOKE_EPGW_ADDR:-127.0.0.1:18091}"
+ORIGIN_BIN="${SMOKE_ORIGIN_BIN:-./eppi-origin-smoke}"
+ORIGIN_ADDR="${SMOKE_ORIGIN_ADDR:-127.0.0.1:18092}"
+REP_ADDR="${SMOKE_REP_ADDR:-127.0.0.1:18085}"
 
 go build -o "$BIN" ./cmd/eppi-serve
 go build -o "$GW_BIN" ./cmd/eppi-gateway
 go build -o "$CON_BIN" ./cmd/eppi-construct
+go build -o "$ORIGIN_BIN" ./cmd/eppi-origin
 
 STORE=$(mktemp -d)
 AUDIT=$(mktemp -d)
+MIRROR_CACHE=$(mktemp -d)
 ART="${SMOKE_ARTIFACT_DIR:-}"
 
 # collect_artifacts snapshots whatever observability state is reachable
@@ -42,7 +50,7 @@ ART="${SMOKE_ARTIFACT_DIR:-}"
 collect_artifacts() {
   [ -n "$ART" ] || return 0
   mkdir -p "$ART"
-  for a in "$ADDR" "$SHARD0_ADDR" "$SHARD1_ADDR" "$GW_ADDR" "$EP0_ADDR" "$EP1_ADDR" "$EPGW_ADDR"; do
+  for a in "$ADDR" "$SHARD0_ADDR" "$SHARD1_ADDR" "$GW_ADDR" "$EP0_ADDR" "$EP1_ADDR" "$EPGW_ADDR" "$REP_ADDR"; do
     curl -sf --max-time 2 "http://$a/v1/metrics" >"$ART/metrics-$a.txt" 2>/dev/null || rm -f "$ART/metrics-$a.txt"
     curl -sf --max-time 2 "http://$a/v1/privacy" >"$ART/privacy-$a.json" 2>/dev/null || rm -f "$ART/privacy-$a.json"
   done
@@ -56,7 +64,7 @@ collect_artifacts() {
 "$BIN" -addr "$ADDR" -providers 20 -owners 8 -log-format json &
 SERVER_PID=$!
 PIDS="$SERVER_PID"
-trap 'collect_artifacts; for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -f "$BIN" "$GW_BIN" "$CON_BIN"; rm -rf "$STORE" "$AUDIT"' EXIT
+trap 'collect_artifacts; for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -f "$BIN" "$GW_BIN" "$CON_BIN" "$ORIGIN_BIN"; rm -rf "$STORE" "$AUDIT" "$MIRROR_CACHE"' EXIT
 
 # Wait for the server to come up (up to ~5s).
 i=0
@@ -322,6 +330,63 @@ ls "$AUDIT"/audit-*.jsonl >/dev/null 2>&1 || {
   exit 1
 }
 echo "smoke: privacy report swapped, audit log written"
+
+# --- Replication: origin + mirrored node without shared storage ---------
+# The store now holds epochs 1 and 2 (CURRENT=2). Serve it read-only over
+# HTTP with eppi-origin and boot a node whose -epoch-dir is an empty
+# local cache: it must pull the current epoch over the wire, verify it,
+# and serve it — no shared filesystem with the publisher.
+"$ORIGIN_BIN" -addr "$ORIGIN_ADDR" -store "$STORE" -log-format json &
+PIDS="$PIDS $!"
+i=0
+until curl -sf "http://$ORIGIN_ADDR/v1/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "smoke: origin did not come up on $ORIGIN_ADDR" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+curl -sf "http://$ORIGIN_ADDR/v1/epochs/current" | grep -q '"epoch":2' || {
+  echo "smoke: origin not serving epoch 2: $(curl -sf "http://$ORIGIN_ADDR/v1/epochs/current")" >&2
+  exit 1
+}
+# The operator-only privacy detail must never travel over the wire.
+if curl -sf "http://$ORIGIN_ADDR/v1/epochs/2/files/privacy_detail.json" >/dev/null 2>&1; then
+  echo "smoke: origin served privacy_detail.json" >&2
+  exit 1
+fi
+
+"$BIN" -addr "$REP_ADDR" -epoch-dir "$MIRROR_CACHE" -epoch-origin "http://$ORIGIN_ADDR" \
+  -epoch-sync 200ms -epoch-poll 200ms -shard 0/2 -log-format json &
+PIDS="$PIDS $!"
+i=0
+until curl -sf "http://$REP_ADDR/v1/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 100 ]; then
+    echo "smoke: mirrored node did not come up on $REP_ADDR" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+curl -sf "http://$REP_ADDR/v1/healthz" | grep -q '"epoch":2' || {
+  echo "smoke: mirrored node not at the origin's epoch: $(curl -sf "http://$REP_ADDR/v1/healthz")" >&2
+  exit 1
+}
+REP_OUT=$(curl -sf "http://$REP_ADDR/v1/query?owner=owner%3A%2F%2Fsite-0.example.org")
+echo "$REP_OUT" | grep -q '"providers"' || {
+  echo "smoke: mirrored node query missing providers: $REP_OUT" >&2
+  exit 1
+}
+curl -sf "http://$REP_ADDR/v1/metrics" | grep -q '^eppi_replica_bytes_total [1-9]' || {
+  echo "smoke: mirrored node counted no replicated bytes" >&2
+  exit 1
+}
+curl -sf "http://$REP_ADDR/v1/metrics" | grep -q '^eppi_replica_lag_epochs 0' || {
+  echo "smoke: mirrored node reports non-zero epoch lag after convergence" >&2
+  exit 1
+}
+echo "smoke: replication converged, mirrored node serving"
 
 for p in $PIDS; do
   kill "$p" 2>/dev/null || true
