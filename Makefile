@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test cover vet bench bench-baseline gateway-bench race fuzz smoke experiments examples clean
+.PHONY: all build test cover vet bench bench-baseline bench-mpc gateway-bench race fuzz smoke experiments examples clean
 
 all: build vet test
 
@@ -49,6 +49,13 @@ gateway-bench:
 	$(GO) run ./cmd/eppi-gateway -selfbench 20000 -baseline BENCH_gateway.json
 	scripts/bench_guard.sh BENCH_gateway.json
 
+# Append a scalar-vs-wide secure-construction measurement (CountBelow/Reveal
+# stage wall time and AND-gate-instance throughput) to BENCH_mpc.json, then
+# fail if the wide throughput regressed >20% vs the previous entry.
+bench-mpc:
+	$(GO) run ./cmd/eppi-bench -mpcbench BENCH_mpc.json
+	$(GO) run ./scripts/benchguard -mpc BENCH_mpc.json
+
 # Short fuzz session over every fuzz target. The batch equivalence fuzz
 # gets the longest slice: it drives the whole gateway query path.
 fuzz:
@@ -56,6 +63,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzBeta -fuzztime=10s ./internal/mathx/
 	$(GO) test -fuzz=FuzzLambda -fuzztime=10s ./internal/mathx/
 	$(GO) test -fuzz=FuzzBatchEquivalence -fuzztime=30s -run '^$$' ./internal/gateway/
+	$(GO) test -fuzz=FuzzGMWWideEquivalence -fuzztime=10s -run '^$$' ./internal/gmw/
 
 # Regenerate every paper table and figure at full scale.
 experiments:

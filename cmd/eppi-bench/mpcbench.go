@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/workload"
+)
+
+// The -mpcbench workload: large enough that slab scheduling and circuit
+// compilation are steady-state costs (identities span two full 64-lane
+// slabs per batch, 16 batches), small enough to run in about a second.
+// Prefix arithmetic and 32-bit mixing coins are the latency-oriented
+// configuration the facade recommends for WAN links: log-depth circuits
+// trade gates for rounds, which is exactly the trade the bit-sliced
+// evaluator amortizes 64-wide. BatchSize 128 is a slab multiple, so the
+// wide path runs with zero padded lanes.
+const (
+	mpcBenchProviders    = 64
+	mpcBenchIdentities   = 2048
+	mpcBenchCoordinators = 3
+	mpcBenchBatch        = 128
+	mpcBenchCoinBits     = 32
+)
+
+// mpcPhase is one evaluator's measurement in a BENCH_mpc.json entry.
+// Seconds is the wall time of the CountBelow/Reveal construction stages —
+// circuit compilation, triple preprocessing and protocol execution; the
+// SecSumShare and publication stages are identical under both evaluators
+// and reported separately via TotalSeconds. AndGateInstancesPerSec divides
+// the scalar-equivalent workload — the AND gate instances the scalar
+// evaluator executes for this exact construction — by that stage time, so
+// the two phases' throughputs are directly comparable and their ratio is
+// the speedup.
+type mpcPhase struct {
+	Seconds                float64 `json:"seconds"`
+	TotalSeconds           float64 `json:"total_seconds"`
+	AndGateInstancesPerSec float64 `json:"and_gate_instances_per_sec"`
+}
+
+// mpcEntry is one appended BENCH_mpc.json record.
+type mpcEntry struct {
+	Timestamp        string   `json:"timestamp"`
+	Providers        int      `json:"providers"`
+	Identities       int      `json:"identities"`
+	Coordinators     int      `json:"coordinators"`
+	Batch            int      `json:"batch"`
+	CoinBits         int      `json:"coin_bits"`
+	Arithmetic       string   `json:"arithmetic"`
+	Workers          int      `json:"workers"`
+	GoMaxProcs       int      `json:"gomaxprocs"`
+	AndGateInstances uint64   `json:"and_gate_instances"`
+	Scalar           mpcPhase `json:"scalar"`
+	Wide             mpcPhase `json:"wide"`
+	Speedup          float64  `json:"speedup"`
+}
+
+// runMPCBench times the secure construction of one fixed workload under
+// the scalar and the bit-sliced wide GMW evaluators, verifies the two
+// published matrices are bit-identical, and appends the measurement to the
+// JSON history at path (the file `make bench-mpc` tracks and
+// scripts/benchguard -mpc gates).
+func runMPCBench(path string, seed int64, workers int, out io.Writer) error {
+	rng := rand.New(rand.NewSource(seed))
+	freqs := make([]int, mpcBenchIdentities)
+	eps := make([]float64, mpcBenchIdentities)
+	for j := range freqs {
+		freqs[j] = 1 + rng.Intn(mpcBenchProviders)
+		eps[j] = 0.3 + 0.6*rng.Float64()
+	}
+	d, err := workload.GenerateFixed(workload.FixedConfig{
+		Providers:   mpcBenchProviders,
+		Frequencies: freqs,
+		Eps:         eps,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{
+		Policy:     mathx.PolicyChernoff,
+		Gamma:      0.9,
+		Mode:       core.ModeSecure,
+		C:          mpcBenchCoordinators,
+		BatchSize:  mpcBenchBatch,
+		CoinBits:   mpcBenchCoinBits,
+		Arithmetic: circuit.StylePrefix,
+		Seed:       seed,
+		Workers:    workers,
+	}
+
+	start := time.Now()
+	scalar, err := core.Construct(d.Matrix, d.Eps, cfg)
+	if err != nil {
+		return fmt.Errorf("scalar construction: %w", err)
+	}
+	scalarTotal := time.Since(start).Seconds()
+	scalarSec := scalar.Secure.MPCWall.Seconds()
+
+	cfg.Wide = true
+	start = time.Now()
+	wide, err := core.Construct(d.Matrix, d.Eps, cfg)
+	if err != nil {
+		return fmt.Errorf("wide construction: %w", err)
+	}
+	wideTotal := time.Since(start).Seconds()
+	wideSec := wide.Secure.MPCWall.Seconds()
+
+	if !wide.Published.Equal(scalar.Published) {
+		return fmt.Errorf("wide and scalar published matrices differ — benchmark void")
+	}
+
+	instances := uint64(scalar.Secure.CountBelowCircuit.AndGates + scalar.Secure.RevealCircuit.AndGates)
+	entry := mpcEntry{
+		Timestamp:        time.Now().UTC().Format(time.RFC3339),
+		Providers:        mpcBenchProviders,
+		Identities:       mpcBenchIdentities,
+		Coordinators:     mpcBenchCoordinators,
+		Batch:            mpcBenchBatch,
+		CoinBits:         mpcBenchCoinBits,
+		Arithmetic:       "prefix",
+		Workers:          workers,
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		AndGateInstances: instances,
+		Scalar:           mpcPhase{Seconds: scalarSec, TotalSeconds: scalarTotal, AndGateInstancesPerSec: float64(instances) / scalarSec},
+		Wide:             mpcPhase{Seconds: wideSec, TotalSeconds: wideTotal, AndGateInstancesPerSec: float64(instances) / wideSec},
+		Speedup:          scalarSec / wideSec,
+	}
+	if err := appendMPCEntry(path, entry); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "mpcbench: %d AND instances over %dx%d (c=%d, batch=%d)\n",
+		instances, mpcBenchProviders, mpcBenchIdentities, mpcBenchCoordinators, mpcBenchBatch)
+	fmt.Fprintf(out, "  CountBelow/Reveal stage wall time:\n")
+	fmt.Fprintf(out, "  scalar: %.3fs (%.3g inst/s, %.3fs total construct)\n", entry.Scalar.Seconds, entry.Scalar.AndGateInstancesPerSec, entry.Scalar.TotalSeconds)
+	fmt.Fprintf(out, "  wide:   %.3fs (%.3g inst/s, %.3fs total construct)\n", entry.Wide.Seconds, entry.Wide.AndGateInstancesPerSec, entry.Wide.TotalSeconds)
+	fmt.Fprintf(out, "  speedup: %.1fx (published matrices verified bit-identical)\n", entry.Speedup)
+	return nil
+}
+
+// appendMPCEntry appends entry to the JSON array history at path, creating
+// the file on first run.
+func appendMPCEntry(path string, entry mpcEntry) error {
+	var history []json.RawMessage
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &history); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	raw, err := json.Marshal(entry)
+	if err != nil {
+		return err
+	}
+	history = append(history, raw)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(history); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -211,6 +211,15 @@ func WithPrefixArithmetic() Option {
 	return func(o *options) { o.cfg.Arithmetic = circuit.StylePrefix }
 }
 
+// WithWideMPC evaluates the secure mode's CountBelow/Reveal circuits with
+// the bit-sliced 64-wide GMW evaluator: identities are packed 64 per
+// machine word, so one AND-opening round serves 64 identities at once.
+// The constructed index is bit-identical to the scalar evaluator; only
+// protocol cost changes. Only meaningful with WithSecure.
+func WithWideMPC() Option {
+	return func(o *options) { o.cfg.Wide = true }
+}
+
 // WithOTPreprocessing replaces the secure mode's trusted triple dealer
 // with the pairwise oblivious-transfer protocol — no trusted party at all,
 // at the cost of public-key operations per AND gate. Only meaningful with

@@ -1,0 +1,83 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveTranspose64 is the obvious O(64²) per-bit reference.
+func naiveTranspose64(m *[64]uint64) [64]uint64 {
+	var out [64]uint64
+	for r := 0; r < 64; r++ {
+		for c := 0; c < 64; c++ {
+			if m[r]>>c&1 == 1 {
+				out[c] |= 1 << r
+			}
+		}
+	}
+	return out
+}
+
+func TestTranspose64MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var m [64]uint64
+		for i := range m {
+			m[i] = rng.Uint64()
+		}
+		want := naiveTranspose64(&m)
+		got := m
+		Transpose64(&got)
+		if got != want {
+			t.Fatalf("trial %d: transpose mismatch", trial)
+		}
+	}
+}
+
+func TestTranspose64Involution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		var m [64]uint64
+		for i := range m {
+			m[i] = rng.Uint64()
+		}
+		got := m
+		Transpose64(&got)
+		Transpose64(&got)
+		if got != m {
+			t.Fatalf("trial %d: double transpose is not the identity", trial)
+		}
+	}
+}
+
+func TestTranspose64SingleBits(t *testing.T) {
+	// Every (r, c) unit matrix must land exactly at (c, r).
+	for r := 0; r < 64; r += 7 {
+		for c := 0; c < 64; c += 5 {
+			var m [64]uint64
+			m[r] = 1 << c
+			Transpose64(&m)
+			for i := range m {
+				want := uint64(0)
+				if i == c {
+					want = 1 << r
+				}
+				if m[i] != want {
+					t.Fatalf("unit (%d,%d): word %d = %#x, want %#x", r, c, i, m[i], want)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTranspose64(b *testing.B) {
+	var m [64]uint64
+	rng := rand.New(rand.NewSource(3))
+	for i := range m {
+		m[i] = rng.Uint64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Transpose64(&m)
+	}
+}

@@ -1,0 +1,72 @@
+package circuit
+
+import "testing"
+
+func TestCachedCompileReturnsSamePointer(t *testing.T) {
+	p := SliceParams{Parties: 3, ShareBits: 7}
+	a, err := CountBelowSliceCached(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CountBelowSliceCached(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical params compiled twice")
+	}
+	other, err := CountBelowSliceCached(SliceParams{Parties: 3, ShareBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == a {
+		t.Fatal("distinct params shared a cache entry")
+	}
+}
+
+func TestCachedCompileKeyCoversThresholds(t *testing.T) {
+	base := CountBelowParams{Parties: 2, Identities: 2, ShareBits: 5, Thresholds: []uint64{1, 2}}
+	a, err := CountBelowCached(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := base
+	changed.Thresholds = []uint64{1, 3}
+	b, err := CountBelowCached(changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("different thresholds shared a cache entry")
+	}
+	// Reveal variant keyed independently of CountBelow.
+	r, err := RevealCached(RevealParams{Parties: 2, Identities: 2, ShareBits: 5,
+		Thresholds: []uint64{1, 2}, CoinBits: 3, MixThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == a {
+		t.Fatal("Reveal and CountBelow shared a cache entry")
+	}
+}
+
+func TestCacheEvictionBound(t *testing.T) {
+	for slots := 1; slots <= cacheLimit+20; slots++ {
+		if _, err := SliceCountCached(SliceCountParams{Parties: 2, Slots: slots}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := cacheSize(); n > cacheLimit {
+		t.Fatalf("cache holds %d circuits, limit %d", n, cacheLimit)
+	}
+}
+
+func TestCachedCompileErrorNotCached(t *testing.T) {
+	bad := SliceParams{Parties: 0, ShareBits: 4}
+	if _, err := CountBelowSliceCached(bad); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if _, err := CountBelowSliceCached(bad); err == nil {
+		t.Fatal("invalid params accepted on second call")
+	}
+}

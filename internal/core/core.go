@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"time"
 
 	"repro/internal/bitmat"
 	"repro/internal/circuit"
@@ -120,6 +121,12 @@ type Config struct {
 	// Triples selects the MPC preprocessing source (dealer by default;
 	// TripleOT runs the real oblivious-transfer protocol).
 	Triples TripleSource
+	// Wide, in ModeSecure, evaluates the CountBelow/Reveal stages with the
+	// bit-sliced 64-wide GMW evaluator: identities are scheduled onto
+	// 64-lane slabs, one protocol execution per slab instead of one per
+	// identity batch circuit. The published matrix is bit-identical to the
+	// scalar path at any worker count; only the protocol cost changes.
+	Wide bool
 	// Arithmetic selects the circuit adder style: ripple (default) or
 	// log-depth parallel-prefix, which trades AND gates for fewer GMW
 	// communication rounds (latency-bound deployments).
@@ -204,6 +211,11 @@ type SecureStats struct {
 	MPC transport.Stats
 	// MPCRounds is the combined GMW round count.
 	MPCRounds int
+	// MPCWall is the wall time of the CountBelow/Reveal construction
+	// stages (circuit compilation, preprocessing and protocol execution;
+	// SecSumShare and publication excluded) — the phase the wide evaluator
+	// accelerates, benchmarked by eppi-bench -mpcbench.
+	MPCWall time.Duration
 }
 
 // Result is the outcome of a construction run.

@@ -34,6 +34,12 @@ const (
 	seedStreamCoins
 	seedStreamCountBelow
 	seedStreamReveal
+	// Wide-path streams: one per slab-level protocol execution, indexed by
+	// the slab's global identity offset (unique across batches because
+	// slabs never straddle batch boundaries).
+	seedStreamWideCountBelow
+	seedStreamSliceCount
+	seedStreamWideReveal
 )
 
 // publishSharded applies the randomized publication rule of Equation 2

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/bitmat"
 	"repro/internal/circuit"
@@ -86,7 +87,16 @@ func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, t
 		newNet = func(parties int) (transport.Network, error) { return transport.NewInMem(parties) }
 	}
 	shareBits := circuit.BitsNeeded(uint64(m + 1))
-	group, err := field.NewAdditive(1 << uint(shareBits))
+	groupBits := shareBits
+	if cfg.Wide {
+		// The wide slab comparator folds the public threshold into party
+		// 0's share and reads the sign bit of freq − t, which needs one bit
+		// of sign slack: shares live in Z_{2^W}, W = bits(m+1) + 1. The
+		// wider group changes no frequency (Σ shares mod 2^W = freq because
+		// freq ≤ m < 2^(W−1)), so the published matrix is unaffected.
+		groupBits++
+	}
+	group, err := field.NewAdditive(1 << uint(groupBits))
 	if err != nil {
 		return nil, err
 	}
@@ -182,6 +192,25 @@ func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, t
 		return res, nil
 	}
 
+	// In wide mode the per-batch stages below are replaced by slab-level
+	// bit-sliced executions; the batching geometry, coin streams and every
+	// opened value stay identical to the scalar path.
+	var ws *wideState
+	if cfg.Wide {
+		ws = &wideState{
+			ctx:        ctx,
+			cfg:        cfg,
+			mux:        mux,
+			c:          c,
+			w:          groupBits,
+			m:          m,
+			workers:    workers,
+			shares:     sumRes.CoordinatorShares,
+			thresholds: thresholds,
+			scalarMPC:  runMPC,
+		}
+	}
+
 	// --- Stage B: CountBelow among the c coordinators ----------------------
 	// Identities are processed in batches (Config.BatchSize) so circuit
 	// size and memory stay bounded for large n; the batches are
@@ -193,13 +222,8 @@ func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, t
 		batch = n
 	}
 	nb := (n + batch - 1) / batch
-	type cbOut struct {
-		circ   circuit.Stats
-		count  int
-		stats  transport.Stats
-		rounds int
-	}
-	cbOuts := make([]cbOut, nb)
+	mpcStart := time.Now()
+	cbOuts := make([]wideOut, nb)
 	cbErrs := make([]error, nb)
 	parallel.For(workers, nb, func(b int) error {
 		lo := b * batch
@@ -207,7 +231,16 @@ func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, t
 		if hi > n {
 			hi = n
 		}
-		cbCirc, err := circuit.CountBelow(circuit.CountBelowParams{
+		if cfg.Wide {
+			out, err := ws.countBelowBatch(lo, hi)
+			if err != nil {
+				cbErrs[b] = fmt.Errorf("wide CountBelow [%d:%d]: %w", lo, hi, err)
+				return cbErrs[b]
+			}
+			cbOuts[b] = out
+			return nil
+		}
+		cbCirc, err := circuit.CountBelowCached(circuit.CountBelowParams{
 			Parties:    c,
 			Identities: hi - lo,
 			ShareBits:  shareBits,
@@ -232,7 +265,7 @@ func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, t
 			cbErrs[b] = fmt.Errorf("CountBelow MPC [%d:%d]: %w", lo, hi, err)
 			return cbErrs[b]
 		}
-		cbOuts[b] = cbOut{
+		cbOuts[b] = wideOut{
 			circ:   cbCirc.Stats(),
 			count:  int(circuit.UnpackBits(cbRes.Outputs)),
 			stats:  cbRes.Stats,
@@ -283,12 +316,7 @@ func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, t
 	hidden := make([]bool, n)
 	betas := make([]float64, n)
 	per := 1 + shareBits
-	type rvOut struct {
-		circ   circuit.Stats
-		stats  transport.Stats
-		rounds int
-	}
-	rvOuts := make([]rvOut, nb)
+	rvOuts := make([]wideOut, nb)
 	rvErrs := make([]error, nb)
 	parallel.For(workers, nb, func(b int) error {
 		lo := b * batch
@@ -296,7 +324,16 @@ func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, t
 		if hi > n {
 			hi = n
 		}
-		rvCirc, err := circuit.Reveal(circuit.RevealParams{
+		if cfg.Wide {
+			out, err := ws.revealBatch(b, lo, hi, coinBits, coinMod, mixThreshold, eps, hidden, betas)
+			if err != nil {
+				rvErrs[b] = fmt.Errorf("wide Reveal [%d:%d]: %w", lo, hi, err)
+				return rvErrs[b]
+			}
+			rvOuts[b] = out
+			return nil
+		}
+		rvCirc, err := circuit.RevealCached(circuit.RevealParams{
 			Parties:      c,
 			Identities:   hi - lo,
 			ShareBits:    shareBits,
@@ -350,7 +387,7 @@ func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, t
 			}
 			betas[j] = bv
 		}
-		rvOuts[b] = rvOut{circ: rvCirc.Stats(), stats: rvRes.Stats, rounds: rvRes.Rounds}
+		rvOuts[b] = wideOut{circ: rvCirc.Stats(), stats: rvRes.Stats, rounds: rvRes.Rounds}
 		return nil
 	})
 	if err := pickBatchErr(rvErrs); err != nil {
@@ -361,6 +398,20 @@ func constructSecure(ctx context.Context, truth *bitmat.Matrix, eps []float64, t
 		stats.MPC.Messages += out.stats.Messages
 		stats.MPC.Bytes += out.stats.Bytes
 		stats.MPCRounds += out.rounds
+	}
+	stats.MPCWall = time.Since(mpcStart)
+	if cfg.Wide {
+		waste := 0
+		for _, out := range cbOuts {
+			waste += out.waste
+		}
+		for _, out := range rvOuts {
+			waste += out.waste
+		}
+		if g := cfg.Metrics.Gauge("eppi_gmw_slab_waste_slots",
+			"Padded lanes across the wide slab executions of the most recent secure construction (CountBelow and Reveal passes counted separately; 0 when every slab is full)."); g != nil {
+			g.Set(float64(waste))
+		}
 	}
 	if err := mux.Close(); err != nil {
 		return nil, fmt.Errorf("coordinator network close: %w", err)

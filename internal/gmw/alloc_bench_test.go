@@ -1,0 +1,53 @@
+package gmw
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/transport"
+)
+
+// BenchmarkScalarAndRounds pins the AND-round allocation behavior of the
+// scalar online phase: a long ripple-carry chain maximizes AND depth, so
+// per-layer scratch churn (the d/e batch, its packed words, the peer
+// unpack area) dominates allocs/op. The buffers are sized once per party
+// per run and reused across every layer; regressions show up directly in
+// this benchmark's allocs/op.
+func BenchmarkScalarAndRounds(b *testing.B) {
+	const width = 64 // 64-deep AND chain under ripple arithmetic
+	bld := circuit.NewBuilder()
+	x := bld.InputVec(0, width)
+	y := bld.InputVec(1, width)
+	sum, err := bld.Add(x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lt, err := bld.LessThan(sum, circuit.ConstVec(1<<40, width))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := bld.Output(lt); err != nil {
+		b.Fatal(err)
+	}
+	circ, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := [][]bool{circuit.PackBits(1234567890123, width), circuit.PackBits(987654321098, width)}
+	triples, err := GenTriplesSharded(31, 2, circ.Stats().AndGates, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := transport.NewInMem(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := RunWithTriples(net, circ, inputs, triples, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		net.Close()
+	}
+}

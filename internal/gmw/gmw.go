@@ -196,6 +196,8 @@ func runCommon(net transport.Network, circ *circuit.Circuit, inputs [][]bool, tr
 	}
 	after := net.Stats()
 	tm.rounds.Add(uint64(2 + len(circ.AndRounds())))
+	tm.andLayers.Add(uint64(countAndLayers(circ)))
+	tm.triples.Add(uint64(andCount))
 	return &Result{
 		Outputs: results[0],
 		Rounds:  2 + len(circ.AndRounds()),
@@ -211,6 +213,8 @@ func runCommon(net transport.Network, circ *circuit.Circuit, inputs [][]bool, tr
 type timers struct {
 	runs      *metrics.Counter
 	rounds    *metrics.Counter
+	andLayers *metrics.Counter
+	triples   *metrics.Counter
 	inputs    *metrics.Histogram
 	andRounds *metrics.Histogram
 	outputs   *metrics.Histogram
@@ -222,10 +226,24 @@ func newTimers(reg *metrics.Registry) *timers {
 	return &timers{
 		runs:      reg.Counter("eppi_gmw_runs_total", "GMW protocol executions."),
 		rounds:    reg.Counter("eppi_gmw_rounds_total", "Sequential communication rounds across all GMW runs."),
+		andLayers: reg.Counter("eppi_gmw_and_rounds_total", "Batched AND-opening rounds across all GMW runs (non-empty AND layers)."),
+		triples:   reg.Counter("eppi_gmw_triples_used_total", "Beaver triple instances consumed across all GMW runs (wide runs count 64 per word-triple)."),
 		inputs:    reg.Histogram(name, help, metrics.DefDurationBuckets, metrics.L("phase", "input_share")),
 		andRounds: reg.Histogram(name, help, metrics.DefDurationBuckets, metrics.L("phase", "and_rounds")),
 		outputs:   reg.Histogram(name, help, metrics.DefDurationBuckets, metrics.L("phase", "output")),
 	}
+}
+
+// countAndLayers returns the number of non-empty AND layers (the batched
+// opening rounds a run actually performs).
+func countAndLayers(circ *circuit.Circuit) int {
+	layers := 0
+	for _, batch := range circ.AndRounds() {
+		if len(batch) > 0 {
+			layers++
+		}
+	}
+	return layers
 }
 
 // runParty executes one party's role and returns the reconstructed
@@ -313,6 +331,25 @@ func runParty(node transport.Node, circ *circuit.Circuit, owned [][]int, myInput
 	}
 	localRounds := circ.LocalByRound()
 	andRounds := circ.AndRounds()
+	// Scratch buffers shared across AND layers: the d/e batch, its packed
+	// words, the opened values and a peer-unpacking area are sized once for
+	// the widest layer instead of reallocated per round. Sent word buffers
+	// are safe to reuse after Send returns on every transport (the in-memory
+	// network copies payloads, the TCP sender encodes synchronously).
+	maxBatch := 0
+	for _, batch := range andRounds {
+		if len(batch) > maxBatch {
+			maxBatch = len(batch)
+		}
+	}
+	var deBuf, openedBuf, peerBuf []byte
+	var packedBuf []uint64
+	if maxBatch > 0 {
+		deBuf = make([]byte, 2*maxBatch)
+		openedBuf = make([]byte, 2*maxBatch)
+		peerBuf = make([]byte, 2*maxBatch)
+		packedBuf = make([]uint64, (2*maxBatch+63)/64)
+	}
 	for r := 0; r < len(andRounds); r++ {
 		for _, gi := range localRounds[r] {
 			evalLocal(gi)
@@ -322,14 +359,14 @@ func runParty(node transport.Node, circ *circuit.Circuit, owned [][]int, myInput
 			continue
 		}
 		// d = x ⊕ a, e = y ⊕ b: broadcast our shares of d,e for the batch.
-		de := make([]byte, 2*len(batch))
+		de := deBuf[:2*len(batch)]
 		for bi, gi := range batch {
 			g := gates[gi]
 			t := circ.AndOrdinal(gi)
 			de[2*bi] = shares[g.A] ^ triples.A[t]
 			de[2*bi+1] = shares[g.B] ^ triples.B[t]
 		}
-		packed := packBits(de)
+		packed := packBitsInto(de, packedBuf)
 		for q := 0; q < n; q++ {
 			if q == id {
 				continue
@@ -339,20 +376,21 @@ func runParty(node transport.Node, circ *circuit.Circuit, owned [][]int, myInput
 				return nil, fmt.Errorf("send AND round %d: %w", r, err)
 			}
 		}
-		opened := make([]byte, len(de))
+		opened := openedBuf[:len(de)]
 		copy(opened, de)
 		got, err := coll.GatherKind(transport.KindGMWAnd, uint32(r+1), n-1)
 		if err != nil {
 			return nil, fmt.Errorf("gather AND round %d: %w", r, err)
 		}
 		for _, msg := range got {
-			bits := unpackBits(msg.Data, len(de))
+			bits := unpackBitsInto(msg.Data, peerBuf[:len(de)])
 			if bits == nil {
 				return nil, fmt.Errorf("%w: short AND message from %d", ErrProtocol, msg.From)
 			}
 			for i := range opened {
 				opened[i] ^= bits[i]
 			}
+			transport.PutWords(msg.Data) // received payloads are exclusively ours
 		}
 		for bi, gi := range batch {
 			g := gates[gi]
@@ -417,7 +455,20 @@ func runParty(node transport.Node, circ *circuit.Circuit, owned [][]int, myInput
 
 // packBits packs 0/1 bytes into uint64 words, 64 bits per word.
 func packBits(bits []byte) []uint64 {
-	words := make([]uint64, (len(bits)+63)/64)
+	return packBitsInto(bits, make([]uint64, (len(bits)+63)/64))
+}
+
+// packBitsInto packs 0/1 bytes into the scratch word slice (grown if too
+// small) and returns the exact-length prefix used.
+func packBitsInto(bits []byte, scratch []uint64) []uint64 {
+	n := (len(bits) + 63) / 64
+	if cap(scratch) < n {
+		scratch = make([]uint64, n)
+	}
+	words := scratch[:n]
+	for i := range words {
+		words[i] = 0
+	}
 	for i, b := range bits {
 		if b&1 == 1 {
 			words[i/64] |= 1 << uint(i%64)
@@ -431,7 +482,15 @@ func unpackBits(words []uint64, n int) []byte {
 	if len(words) < (n+63)/64 {
 		return nil
 	}
-	bits := make([]byte, n)
+	return unpackBitsInto(words, make([]byte, n))
+}
+
+// unpackBitsInto expands words into the supplied byte slice (whose length
+// selects the bit count); nil if words is too short.
+func unpackBitsInto(words []uint64, bits []byte) []byte {
+	if len(words) < (len(bits)+63)/64 {
+		return nil
+	}
 	for i := range bits {
 		bits[i] = byte(words[i/64] >> uint(i%64) & 1)
 	}

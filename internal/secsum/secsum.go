@@ -218,6 +218,8 @@ func runProvider(node transport.Node, scheme secretshare.Scheme, input []uint64,
 		if err2 != nil {
 			return nil, err2
 		}
+		// The received vector is folded in and exclusively ours; recycle it.
+		transport.PutWords(msg.Data)
 	}
 
 	// Step 4: ship the super-share to coordinator (id mod c).
@@ -258,6 +260,7 @@ func runProvider(node transport.Node, scheme secretshare.Scheme, input []uint64,
 		for j, v := range gm.Data {
 			acc[j] = f.Add(acc[j], f.Reduce(v))
 		}
+		transport.PutWords(gm.Data)
 	}
 	return acc, nil
 }

@@ -1,0 +1,41 @@
+package transport
+
+import "sync"
+
+// wordPool recycles []uint64 payload buffers. Protocol hot loops — the
+// wide GMW evaluator's per-layer d/e broadcasts, the in-memory network's
+// defensive payload copies — otherwise allocate a fresh slice per message
+// per AND depth, and those short-lived slices dominate the allocation
+// profile of a secure construction. Recycling costs one 24-byte slice
+// header per PutWords (the price of a value-slice API over sync.Pool);
+// the backing arrays — the allocations that actually matter — are reused.
+var wordPool = sync.Pool{
+	New: func() any {
+		buf := make([]uint64, 0, 256)
+		return &buf
+	},
+}
+
+// GetWords returns a word buffer of length n (contents unspecified) from
+// the pool, growing the pooled backing array when it is too small. Pass
+// the buffer to PutWords when no goroutine can reach it any more.
+func GetWords(n int) []uint64 {
+	bp := wordPool.Get().(*[]uint64)
+	if cap(*bp) < n {
+		*bp = make([]uint64, n)
+	}
+	return (*bp)[:n]
+}
+
+// PutWords recycles a buffer previously handed out by GetWords (or any
+// ordinary slice). The caller must not touch buf afterwards: message
+// receivers may only recycle Data they exclusively own — which holds for
+// every Recv on the in-memory and TCP transports, where each delivered
+// Message carries its own backing array.
+func PutWords(buf []uint64) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	wordPool.Put(&buf)
+}

@@ -1,0 +1,54 @@
+package transport
+
+import "testing"
+
+func TestGetWordsLengthAndReuse(t *testing.T) {
+	b := GetWords(10)
+	if len(b) != 10 {
+		t.Fatalf("GetWords(10) length = %d", len(b))
+	}
+	for i := range b {
+		b[i] = uint64(i)
+	}
+	PutWords(b)
+
+	// A smaller request may be served from the recycled backing array;
+	// only the requested length must be visible.
+	c := GetWords(4)
+	if len(c) != 4 {
+		t.Fatalf("GetWords(4) length = %d", len(c))
+	}
+	PutWords(c)
+
+	// A larger request must grow.
+	d := GetWords(1 << 12)
+	if len(d) != 1<<12 {
+		t.Fatalf("GetWords(4096) length = %d", len(d))
+	}
+	PutWords(d)
+}
+
+func TestPutWordsZeroCap(t *testing.T) {
+	PutWords(nil)           // must not panic or pool a useless header
+	PutWords([]uint64{}[:]) // zero-cap literal
+	b := GetWords(1)
+	if len(b) != 1 {
+		t.Fatalf("GetWords(1) length = %d", len(b))
+	}
+	PutWords(b)
+}
+
+// The steady state — get, fill, put — must reuse the backing array; only
+// the slice-header boxing on Put may allocate (one 24-byte header/op).
+func TestGetWordsSteadyStateAllocs(t *testing.T) {
+	b := GetWords(1 << 16)
+	PutWords(b)
+	allocs := testing.AllocsPerRun(100, func() {
+		w := GetWords(1 << 16)
+		w[0] = 1
+		PutWords(w)
+	})
+	if allocs > 1 {
+		t.Fatalf("steady-state GetWords/PutWords allocates %.1f per op, want <= 1 (array not reused)", allocs)
+	}
+}

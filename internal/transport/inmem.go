@@ -81,8 +81,10 @@ func (n *inMemNode) Send(to int, m Message) error {
 	n.net.stats.stamp(&m)
 	// Copy the payload so sender-side reuse of buffers cannot race with the
 	// receiver (slices share backing arrays across goroutines otherwise).
+	// The copy comes from the shared word pool; receivers that finish with
+	// a message may hand Data back via PutWords.
 	if m.Data != nil {
-		data := make([]uint64, len(m.Data))
+		data := GetWords(len(m.Data))
 		copy(data, m.Data)
 		m.Data = data
 	}

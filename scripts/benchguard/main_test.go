@@ -74,6 +74,44 @@ func TestGuardSingleBatchEntryIsBaseline(t *testing.T) {
 	}
 }
 
+func mpcEntryJSON(ts string, wideInstPerSec float64) string {
+	return `{"timestamp":"` + ts + `","wide":{"and_gate_instances_per_sec":` +
+		strconv.FormatFloat(wideInstPerSec, 'f', -1, 64) + `}}`
+}
+
+func TestMPCGuardPassesWithinBudget(t *testing.T) {
+	path := historyFile(t, "["+mpcEntryJSON("t1", 4e7)+","+mpcEntryJSON("t2", 3.4e7)+"]")
+	if err := runMPC(path, 0.20); err != nil {
+		t.Fatalf("15%% drop failed the 20%% guard: %v", err)
+	}
+}
+
+func TestMPCGuardFailsOnRegression(t *testing.T) {
+	path := historyFile(t, "["+mpcEntryJSON("t1", 4e7)+","+mpcEntryJSON("t2", 3.1e7)+"]")
+	if err := runMPC(path, 0.20); err == nil {
+		t.Fatal("22.5% throughput drop passed the 20% guard")
+	}
+}
+
+func TestMPCGuardSingleEntryIsBaseline(t *testing.T) {
+	path := historyFile(t, "["+mpcEntryJSON("t1", 4e7)+"]")
+	if err := runMPC(path, 0.20); err != nil {
+		t.Fatalf("first MPC entry must pass (nothing to compare): %v", err)
+	}
+}
+
+func TestMPCGuardErrors(t *testing.T) {
+	if err := runMPC(filepath.Join(t.TempDir(), "missing.json"), 0.20); err == nil {
+		t.Error("missing file passed")
+	}
+	if err := runMPC(historyFile(t, "{nope"), 0.20); err == nil {
+		t.Error("bad JSON passed")
+	}
+	if err := runMPC(historyFile(t, `[{"timestamp":"t1"}]`), 0.20); err == nil {
+		t.Error("history without any wide measurement passed")
+	}
+}
+
 func TestGuardErrors(t *testing.T) {
 	if err := run(filepath.Join(t.TempDir(), "missing.json"), 0.20); err == nil {
 		t.Error("missing file passed")
